@@ -1,0 +1,10 @@
+"""Fig. 10: map-matching training time per epoch."""
+
+from ._shared import BENCH, run_and_report
+
+
+def test_fig10_matching_training_time(benchmark):
+    results = run_and_report(benchmark, "fig10", BENCH)
+    for name, times in results.items():
+        assert times["FMM"] == 0.0, name  # FMM needs no training
+        assert times["MMA"] < times["RNTrajRec"], name

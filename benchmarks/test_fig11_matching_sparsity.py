@@ -1,0 +1,11 @@
+"""Fig. 11: map-matching F1 vs sparsity level (retrains per gamma)."""
+
+from ._shared import SWEEP_SCALE, run_and_report
+
+
+def test_fig11_matching_sparsity(benchmark):
+    results = run_and_report(benchmark, "fig11", SWEEP_SCALE)
+    for name, per_method in results.items():
+        curve = per_method["MMA"]
+        gammas = sorted(curve)
+        assert curve[gammas[-1]] > curve[gammas[0]], name

@@ -1,0 +1,13 @@
+"""Fig. 2: ratio of GPS points with true segment in their top-k_c set."""
+
+from ._shared import BENCH, run_and_report
+
+
+def test_fig2_candidate_ratio(benchmark):
+    results = run_and_report(benchmark, "fig2", BENCH)
+    for name, curve in results.items():
+        # The paper's claim shape: low at k=1, near 1 at k=10, monotone.
+        values = [curve[k] for k in sorted(curve)]
+        assert all(b >= a for a, b in zip(values, values[1:])), name
+        assert values[-1] > 0.9, name
+        assert values[0] < values[-1], name

@@ -1,0 +1,27 @@
+"""Fig. 5: inference time per 1000 trajectory recoveries.
+
+Note on expected shape at repo scale: the paper's order-of-magnitude gaps
+(TRMMA 0.88 s vs 18.17 s per 1000 on PT) come from the baselines' O(|E|)
+per-step decoding at |E| = 10^4-10^5.  At this repo's |E| ~ 10^2-10^3 that
+term no longer dominates and all learned methods cluster within a small
+factor of each other (EXPERIMENTS.md).  The asymptotic mechanism itself is
+demonstrated by ``test_extra_ablations.py::
+test_decoder_scaling_with_network_size``, which grows |E| by an order of
+magnitude and shows the whole-network decoder's cost curve crossing
+TRMMA's.  Here we assert the scale-independent facts: training-free Linear
+is cheapest, and TRMMA — which additionally pays for its map-matching
+stage — stays within a small constant factor of the |E|-way decoder family
+it beats on quality.
+"""
+
+from ._shared import BENCH, run_and_report
+
+WHOLE_NETWORK_DECODERS = ("MTrajRec", "RNTrajRec", "MM-STGED")
+
+
+def test_fig5_recovery_inference_time(benchmark):
+    results = run_and_report(benchmark, "fig5", BENCH)
+    for name, times in results.items():
+        assert times["Linear"] < times["TRMMA"], name
+        family_max = max(times[m] for m in WHOLE_NETWORK_DECODERS)
+        assert times["TRMMA"] < 2.5 * family_max, name

@@ -1,0 +1,13 @@
+"""Fig. 7: recovery accuracy vs sparsity level (retrains per gamma)."""
+
+from ._shared import SWEEP_SCALE, run_and_report
+
+
+def test_fig7_recovery_sparsity(benchmark):
+    results = run_and_report(benchmark, "fig7", SWEEP_SCALE)
+    for name, per_method in results.items():
+        curve = per_method["TRMMA"]
+        gammas = sorted(curve)
+        # Denser input (larger gamma) must not hurt: accuracy at the densest
+        # setting beats the sparsest (the paper's degradation shape).
+        assert curve[gammas[-1]] > curve[gammas[0]], name

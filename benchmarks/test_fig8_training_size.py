@@ -1,0 +1,11 @@
+"""Fig. 8: recovery accuracy vs amount of training data."""
+
+from ._shared import SWEEP_SCALE, run_and_report
+
+
+def test_fig8_training_size(benchmark):
+    results = run_and_report(benchmark, "fig8", SWEEP_SCALE)
+    for name, per_method in results.items():
+        # Linear is training-free: its curve must be (nearly) flat.
+        linear = list(per_method["Linear"].values())
+        assert max(linear) - min(linear) < 10.0, name

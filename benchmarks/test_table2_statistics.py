@@ -1,0 +1,14 @@
+"""Table II: generated dataset statistics vs the paper's corpora."""
+
+from repro.experiments.table2_statistics import relative_ordering_preserved
+
+from ._shared import BENCH, run_and_report
+
+
+def test_table2_statistics(benchmark):
+    results = run_and_report(benchmark, "table2", BENCH)
+    # Structural facts the experiments lean on must hold in the analogues.
+    assert relative_ordering_preserved(results)
+    for name, stats in results.items():
+        assert stats["avg_points"] >= 6
+        assert stats["avg_length_m"] > 500

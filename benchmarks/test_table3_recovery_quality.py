@@ -1,0 +1,16 @@
+"""Table III: trajectory-recovery effectiveness, all methods x datasets."""
+
+from ._shared import BENCH, run_and_report
+
+
+def test_table3_recovery_quality(benchmark):
+    results = run_and_report(benchmark, "table3", BENCH)
+    for name, table in results.items():
+        trmma = table["TRMMA"]
+        # TRMMA must beat every whole-network learned decoder on accuracy
+        # (the paper's headline), and be at or near the top on F1.
+        for competitor in ("MTrajRec", "RNTrajRec", "MM-STGED", "DHTR",
+                           "TERI", "TrajGAT+Dec", "TrajCL+Dec", "ST2Vec+Dec"):
+            assert trmma["accuracy"] > table[competitor]["accuracy"], (
+                name, competitor)
+            assert trmma["mae"] < table[competitor]["mae"], (name, competitor)

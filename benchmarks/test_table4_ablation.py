@@ -1,0 +1,12 @@
+"""Table IV: TRMMA ablation study by recovery accuracy."""
+
+from ._shared import SWEEP_SCALE, run_and_report
+
+
+def test_table4_ablation(benchmark):
+    results = run_and_report(benchmark, "table4", SWEEP_SCALE)
+    for name, row in results.items():
+        # Full TRMMA beats the crudest ablation by a clear margin.
+        assert row["TRMMA"] > row["Nearest+linear"], name
+        # And beats nearest-matching-based recovery.
+        assert row["TRMMA"] > row["TRMMA-Near"], name

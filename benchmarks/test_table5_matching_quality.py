@@ -1,0 +1,15 @@
+"""Table V: map-matching effectiveness, all methods x datasets."""
+
+from ._shared import BENCH, run_and_report
+
+
+def test_table5_matching_quality(benchmark):
+    results = run_and_report(benchmark, "table5", BENCH)
+    wins = 0
+    for name, table in results.items():
+        mma = table["MMA"]
+        assert mma["f1"] > table["Nearest"]["f1"], name
+        best_f1 = max(row["f1"] for row in table.values())
+        wins += int(mma["f1"] == best_f1)
+    # MMA should top F1 on most datasets (all four in the paper).
+    assert wins >= len(results) / 2, results

@@ -1,0 +1,67 @@
+"""repro — reproduction of "Efficient Methods for Accurate Sparse Trajectory
+Recovery and Map Matching" (TRMMA / MMA, ICDE 2025).
+
+Public API quick reference
+--------------------------
+Data:       build_dataset("PT"), Trajectory, MapMatchedPoint, ...
+Matching:   MMAMatcher, HMMMatcher, FMMMatcher, NearestMatcher, ...
+Recovery:   TRMMARecoverer, MTrajRecRecoverer, LinearInterpolationRecoverer, ...
+Evaluation: evaluate_matching, evaluate_recovery
+Experiments: repro.experiments.run_experiment("table5")
+"""
+
+from .data import (
+    DATASET_NAMES,
+    Dataset,
+    GPSPoint,
+    MapMatchedPoint,
+    MatchedTrajectory,
+    Trajectory,
+    TrajectorySample,
+    build_dataset,
+)
+from .eval import evaluate_matching, evaluate_recovery
+from .matching import (
+    DeepMMMatcher,
+    FMMMatcher,
+    GraphMMMatcher,
+    HMMMatcher,
+    LHMMMatcher,
+    MMAMatcher,
+    MapMatcher,
+    NearestMatcher,
+    attach_planner_statistics,
+)
+from .network import (
+    CityConfig,
+    DARoutePlanner,
+    NetworkDistance,
+    RoadNetwork,
+    TransitionStatistics,
+    generate_city,
+)
+from .recovery import (
+    LinearInterpolationRecoverer,
+    MTrajRecRecoverer,
+    RNTrajRecRecoverer,
+    TRMMARecoverer,
+    TrajectoryRecoverer,
+    make_trmma,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "build_dataset", "Dataset", "DATASET_NAMES",
+    "GPSPoint", "Trajectory", "MapMatchedPoint", "MatchedTrajectory",
+    "TrajectorySample",
+    "RoadNetwork", "CityConfig", "generate_city", "DARoutePlanner",
+    "TransitionStatistics", "NetworkDistance",
+    "MapMatcher", "NearestMatcher", "HMMMatcher", "FMMMatcher",
+    "LHMMMatcher", "DeepMMMatcher", "GraphMMMatcher", "MMAMatcher",
+    "attach_planner_statistics",
+    "TrajectoryRecoverer", "LinearInterpolationRecoverer",
+    "MTrajRecRecoverer", "RNTrajRecRecoverer", "TRMMARecoverer", "make_trmma",
+    "evaluate_matching", "evaluate_recovery",
+]

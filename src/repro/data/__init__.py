@@ -1,0 +1,29 @@
+"""Trajectory data: datatypes, simulator, sparsifier, dataset registry."""
+
+from .datasets import (
+    DATASET_CONFIGS,
+    DATASET_NAMES,
+    Dataset,
+    DatasetConfig,
+    build_dataset,
+)
+from .io import load_trips, save_trips
+from .simulate import DenseTrip, SimulationConfig, simulate_trip, simulate_trips
+from .sparsify import sparsify_trip, sparsify_trips
+from .trajectory import (
+    GPSPoint,
+    MapMatchedPoint,
+    MatchedTrajectory,
+    Trajectory,
+    TrajectorySample,
+)
+
+__all__ = [
+    "GPSPoint", "Trajectory", "MapMatchedPoint", "MatchedTrajectory",
+    "TrajectorySample",
+    "SimulationConfig", "DenseTrip", "simulate_trip", "simulate_trips",
+    "sparsify_trip", "sparsify_trips",
+    "save_trips", "load_trips",
+    "Dataset", "DatasetConfig", "DATASET_CONFIGS", "DATASET_NAMES",
+    "build_dataset",
+]

@@ -1,0 +1,215 @@
+"""Dataset registry: scaled-down analogues of the paper's four cities.
+
+The paper evaluates on Porto (PT), Xi'an (XA), Beijing (BJ), and Chengdu
+(CD) — Table II.  Each :class:`DatasetConfig` here mirrors that city's
+relative characteristics at laptop scale:
+
+* PT — mid-size network, ε = 15 s,
+* XA — the smallest network, dense sampling, ε = 12 s,
+* BJ — by far the largest network, slow traffic, the coarsest ε = 60 s,
+* CD — compact dense network, ε = 12 s.
+
+:func:`build_dataset` generates the road network, simulates trips, splits
+them 40/30/30 into train/validation/test (Section VI-A), and sparsifies each
+split at the requested γ.  Dense trips are retained so experiments can
+re-sparsify at other γ values (:meth:`Dataset.with_gamma`) or re-subsample
+training data (Fig. 8) without re-simulating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..network.generators import CityConfig, generate_city
+from ..network.road_network import RoadNetwork
+from ..network.routing import TransitionStatistics
+from ..utils.rng import SeedLike, make_rng
+from .simulate import DenseTrip, SimulationConfig, simulate_trips
+from .sparsify import sparsify_trips
+from .trajectory import TrajectorySample
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """Generator configuration of one named dataset."""
+
+    name: str
+    city: CityConfig
+    simulation: SimulationConfig
+
+
+DATASET_CONFIGS: Dict[str, DatasetConfig] = {
+    "PT": DatasetConfig(
+        name="PT",
+        city=CityConfig(rows=11, cols=9, spacing=175.0, jitter=24.0,
+                        p_missing=0.08, p_oneway=0.18, n_arterials=2,
+                        origin_lat=41.15, origin_lng=-8.62),
+        simulation=SimulationConfig(epsilon=15.0, gps_noise_std=5.5,
+                                    speed_mean=9.0, min_trip_distance=900.0,
+                                    max_trip_distance=2_600.0,
+                                    min_dense_points=8),
+    ),
+    "XA": DatasetConfig(
+        name="XA",
+        city=CityConfig(rows=8, cols=8, spacing=210.0, jitter=20.0,
+                        p_missing=0.06, p_oneway=0.12, n_arterials=1,
+                        origin_lat=34.26, origin_lng=108.94),
+        simulation=SimulationConfig(epsilon=12.0, gps_noise_std=5.0,
+                                    speed_mean=8.5, min_trip_distance=800.0,
+                                    max_trip_distance=2_200.0,
+                                    min_dense_points=9),
+    ),
+    "BJ": DatasetConfig(
+        name="BJ",
+        city=CityConfig(rows=14, cols=14, spacing=260.0, jitter=30.0,
+                        p_missing=0.10, p_oneway=0.20, n_arterials=3,
+                        origin_lat=39.90, origin_lng=116.40),
+        simulation=SimulationConfig(epsilon=60.0, gps_noise_std=7.0,
+                                    speed_mean=7.5, min_trip_distance=2_300.0,
+                                    max_trip_distance=5_200.0,
+                                    min_dense_points=6),
+    ),
+    "CD": DatasetConfig(
+        name="CD",
+        city=CityConfig(rows=9, cols=10, spacing=195.0, jitter=22.0,
+                        p_missing=0.07, p_oneway=0.14, n_arterials=2,
+                        origin_lat=30.66, origin_lng=104.06),
+        simulation=SimulationConfig(epsilon=12.0, gps_noise_std=4.5,
+                                    speed_mean=8.5, min_trip_distance=850.0,
+                                    max_trip_distance=2_400.0,
+                                    min_dense_points=9),
+    ),
+}
+
+DATASET_NAMES = tuple(DATASET_CONFIGS)
+
+
+@dataclass
+class Dataset:
+    """A generated dataset: network + sparse/dense trajectories per split."""
+
+    name: str
+    network: RoadNetwork
+    epsilon: float
+    gamma: float
+    train_trips: List[DenseTrip]
+    val_trips: List[DenseTrip]
+    test_trips: List[DenseTrip]
+    train: List[TrajectorySample]
+    val: List[TrajectorySample]
+    test: List[TrajectorySample]
+    seed: int
+
+    # ------------------------------------------------------------- derived
+
+    def transition_statistics(self) -> TransitionStatistics:
+        """Historical segment-transition counts from the *training* routes
+        (the DA route planner's knowledge; test routes stay unseen)."""
+        stats = TransitionStatistics(self.network)
+        stats.fit(trip.route for trip in self.train_trips)
+        return stats
+
+    def with_gamma(self, gamma: float, seed: SeedLike = None) -> "Dataset":
+        """Re-sparsify every split at a different sparsity level γ."""
+        rng = make_rng(self.seed + 7 if seed is None else seed)
+        return replace(
+            self,
+            gamma=gamma,
+            train=sparsify_trips(self.train_trips, gamma, seed=rng),
+            val=sparsify_trips(self.val_trips, gamma, seed=rng),
+            test=sparsify_trips(self.test_trips, gamma, seed=rng),
+        )
+
+    def with_training_fraction(self, fraction: float) -> "Dataset":
+        """Keep only the first ``fraction`` of training samples (Fig. 8)."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        keep = max(1, int(round(len(self.train) * fraction)))
+        return replace(
+            self,
+            train=self.train[:keep],
+            train_trips=self.train_trips[:keep],
+        )
+
+    def statistics(self) -> Dict[str, float]:
+        """Summary in the spirit of Table II."""
+        trips = self.train_trips + self.val_trips + self.test_trips
+        n_points = [len(t.dense) for t in trips]
+        lengths = [self.network.route_length(t.route) for t in trips]
+        durations = [t.dense[-1].t - t.dense[0].t for t in trips]
+        return {
+            "n_trajectories": len(trips),
+            "epsilon_s": self.epsilon,
+            "avg_points": float(np.mean(n_points)),
+            "avg_length_m": float(np.mean(lengths)),
+            "avg_travel_time_s": float(np.mean(durations)),
+            "n_segments": self.network.n_segments,
+            "n_intersections": self.network.n_nodes,
+        }
+
+
+def build_dataset(
+    name: str,
+    n_trips: int = 120,
+    gamma: float = 0.1,
+    seed: SeedLike = None,
+    config: Optional[DatasetConfig] = None,
+) -> Dataset:
+    """Generate one dataset end to end.
+
+    Parameters
+    ----------
+    name:
+        One of ``PT``, ``XA``, ``BJ``, ``CD`` (or any name when ``config``
+        is supplied).
+    n_trips:
+        Total number of simulated trips across all splits.
+    gamma:
+        Sparsity level: sparse trajectories have average interval ε/γ.
+    """
+    if config is None:
+        if name not in DATASET_CONFIGS:
+            raise KeyError(f"unknown dataset {name!r}; pick from {DATASET_NAMES}")
+        config = DATASET_CONFIGS[name]
+    rng = make_rng(seed)
+    base_seed = int(rng.integers(0, 2**31 - 1))
+
+    network = generate_city(config.city, seed=base_seed)
+    # Signal placement is part of the city, not of individual trips; expose
+    # it on the network (real networks carry it as an OSM node attribute).
+    from .simulate import segment_speed_factors, signal_nodes
+
+    signals = signal_nodes(network, config.simulation, seed=base_seed + 3)
+    network.signalized_nodes = signals
+    speed_factors = segment_speed_factors(
+        network, config.simulation, seed=base_seed + 4
+    )
+    network.speed_factors = speed_factors
+    trips = simulate_trips(
+        network, config.simulation, n_trips, seed=base_seed + 1,
+        signals=signals, speed_factors=speed_factors,
+    )
+
+    n_train = int(round(n_trips * 0.4))
+    n_val = int(round(n_trips * 0.3))
+    train_trips = trips[:n_train]
+    val_trips = trips[n_train : n_train + n_val]
+    test_trips = trips[n_train + n_val :]
+
+    sparsify_rng = make_rng(base_seed + 2)
+    return Dataset(
+        name=name,
+        network=network,
+        epsilon=config.simulation.epsilon,
+        gamma=gamma,
+        train_trips=train_trips,
+        val_trips=val_trips,
+        test_trips=test_trips,
+        train=sparsify_trips(train_trips, gamma, seed=sparsify_rng),
+        val=sparsify_trips(val_trips, gamma, seed=sparsify_rng),
+        test=sparsify_trips(test_trips, gamma, seed=sparsify_rng),
+        seed=base_seed,
+    )

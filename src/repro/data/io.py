@@ -1,0 +1,80 @@
+"""Dataset persistence.
+
+Simulating a dataset is deterministic given a seed, but saving the trips
+lets experiments resume instantly and lets users ship a reference dataset
+alongside results.  Everything goes into one ``.npz``: the network (via
+:mod:`repro.network.io`) plus flattened trip arrays.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import List
+
+import numpy as np
+
+from ..network.io import load_network, save_network
+from ..network.road_network import RoadNetwork
+from .simulate import DenseTrip
+from .trajectory import GPSPoint, MapMatchedPoint, MatchedTrajectory, Trajectory
+
+
+def _pack_trips(trips: List[DenseTrip]) -> dict:
+    """Flatten variable-length trips into offset-indexed arrays."""
+    route_flat: List[int] = []
+    route_offsets = [0]
+    point_rows: List[List[float]] = []  # edge, ratio, t, gps_x, gps_y
+    point_offsets = [0]
+    for trip in trips:
+        route_flat.extend(trip.route)
+        route_offsets.append(len(route_flat))
+        for a, p in zip(trip.dense, trip.gps):
+            point_rows.append([a.edge_id, a.ratio, a.t, p.x, p.y])
+        point_offsets.append(len(point_rows))
+    return {
+        "route_flat": np.asarray(route_flat, dtype=np.int64),
+        "route_offsets": np.asarray(route_offsets, dtype=np.int64),
+        "points": np.asarray(point_rows, dtype=np.float64),
+        "point_offsets": np.asarray(point_offsets, dtype=np.int64),
+    }
+
+
+def _unpack_trips(network: RoadNetwork, payload: dict) -> List[DenseTrip]:
+    trips: List[DenseTrip] = []
+    route_flat = payload["route_flat"]
+    route_offsets = payload["route_offsets"]
+    points = payload["points"]
+    point_offsets = payload["point_offsets"]
+    for i in range(len(route_offsets) - 1):
+        route = route_flat[route_offsets[i] : route_offsets[i + 1]].tolist()
+        rows = points[point_offsets[i] : point_offsets[i + 1]]
+        dense = [
+            MapMatchedPoint(edge_id=int(r[0]), ratio=float(r[1]), t=float(r[2]))
+            for r in rows
+        ]
+        gps = [
+            GPSPoint.from_xy(network, float(r[3]), float(r[4]), float(r[2]))
+            for r in rows
+        ]
+        trips.append(
+            DenseTrip(route=route, dense=MatchedTrajectory(dense), gps=Trajectory(gps))
+        )
+    return trips
+
+
+def save_trips(network: RoadNetwork, trips: List[DenseTrip], path: str) -> None:
+    """Persist a network and its simulated trips to one ``.npz``."""
+    buffer = io.BytesIO()
+    save_network(network, buffer)
+    payload = _pack_trips(trips)
+    payload["network_npz"] = np.frombuffer(buffer.getvalue(), dtype=np.uint8)
+    np.savez(path, **payload)
+
+
+def load_trips(path: str):
+    """Load (network, trips) previously stored with :func:`save_trips`."""
+    with np.load(path) as archive:
+        network_bytes = archive["network_npz"].tobytes()
+        network = load_network(io.BytesIO(network_bytes))
+        payload = {name: archive[name] for name in archive.files}
+    return network, _unpack_trips(network, payload)

@@ -1,0 +1,61 @@
+"""Sparsification: turn dense trips into low-sampling-rate inputs.
+
+Section VI-A: "for an ε-sampling trajectory, we generate its sparse
+trajectory by randomly sampling the points in it, so that the resulting
+sparse trajectory T has average interval ε/γ", with γ ∈ (0, 1) controlling
+sparsity (default 0.1 — sparse intervals ten times longer than dense).
+
+The first and last points are always kept (the trip endpoints are observed);
+interior dense points are kept independently with probability γ, re-drawn
+until at least one interior point survives for trips long enough to have
+one, so every sparse trajectory has ≥ 2 points and ≥ 3 where possible.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..utils.rng import SeedLike, make_rng
+from .simulate import DenseTrip
+from .trajectory import Trajectory, TrajectorySample
+
+
+def sparsify_trip(
+    trip: DenseTrip, gamma: float, seed: SeedLike = None
+) -> TrajectorySample:
+    """Down-sample one dense trip into a :class:`TrajectorySample`."""
+    if not 0.0 < gamma <= 1.0:
+        raise ValueError("gamma must be in (0, 1]")
+    rng = make_rng(seed)
+    n = len(trip.dense)
+    if n < 2:
+        raise ValueError("dense trip must have at least 2 points")
+
+    interior = np.arange(1, n - 1)
+    if gamma >= 1.0 or len(interior) == 0:
+        kept_interior = interior
+    else:
+        for _ in range(20):
+            mask = rng.random(len(interior)) < gamma
+            if mask.any():
+                break
+        kept_interior = interior[mask] if len(interior) else interior
+
+    indices: List[int] = [0, *kept_interior.tolist(), n - 1]
+    sparse_points = [trip.gps[i] for i in indices]
+    return TrajectorySample(
+        sparse=Trajectory(sparse_points),
+        route=list(trip.route),
+        dense=trip.dense,
+        observed_indices=indices,
+    )
+
+
+def sparsify_trips(
+    trips: List[DenseTrip], gamma: float, seed: SeedLike = None
+) -> List[TrajectorySample]:
+    """Sparsify a list of trips with a shared RNG stream."""
+    rng = make_rng(seed)
+    return [sparsify_trip(trip, gamma, seed=rng) for trip in trips]

@@ -1,0 +1,67 @@
+"""Efficiency measurements (Figs. 5, 6, 9, 10).
+
+* inference time per 1000 trajectory recoveries / map matchings,
+* training time per epoch.
+
+Wall-clock times on this NumPy substrate are not comparable to the paper's
+GPU numbers in absolute terms; the *ratios* between methods are the claim
+under test (TRMMA/MMA fastest, whole-network decoders orders of magnitude
+slower).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..data.datasets import Dataset
+from ..data.trajectory import TrajectorySample
+from ..matching.base import MapMatcher
+from ..recovery.base import TrajectoryRecoverer
+from ..utils.timing import time_call
+
+
+def recovery_inference_time(
+    recoverer: TrajectoryRecoverer,
+    dataset: Dataset,
+    samples: Optional[Sequence[TrajectorySample]] = None,
+) -> float:
+    """Seconds per 1000 recoveries over the test split."""
+    samples = dataset.test if samples is None else samples
+    if not samples:
+        raise ValueError("no samples to time")
+
+    def run() -> None:
+        for sample in samples:
+            recoverer.recover(sample.sparse, dataset.epsilon)
+
+    return time_call(run) * 1000.0 / len(samples)
+
+
+def matching_inference_time(
+    matcher: MapMatcher,
+    dataset: Dataset,
+    samples: Optional[Sequence[TrajectorySample]] = None,
+) -> float:
+    """Seconds per 1000 map matchings over the test split."""
+    samples = dataset.test if samples is None else samples
+    if not samples:
+        raise ValueError("no samples to time")
+
+    def run() -> None:
+        for sample in samples:
+            matcher.match(sample.sparse)
+
+    return time_call(run) * 1000.0 / len(samples)
+
+
+def training_time_per_epoch(method, dataset: Dataset) -> float:
+    """Wall-clock seconds of one training epoch of ``method``."""
+    return time_call(lambda: method.fit_epoch(dataset))
+
+
+def efficiency_report(times: Dict[str, float], best_key: str) -> Dict[str, float]:
+    """Augment raw times with speedup factors relative to ``best_key``."""
+    base = times[best_key]
+    return {
+        name: (t / base if base > 0 else float("inf")) for name, t in times.items()
+    }

@@ -1,0 +1,62 @@
+"""Evaluation harness: run a method over a dataset split and aggregate.
+
+Used by every quality experiment (Tables III-V, Figs. 7-8, 11).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..data.datasets import Dataset
+from ..data.trajectory import TrajectorySample
+from ..matching.base import MapMatcher
+from ..network.distances import NetworkDistance
+from ..recovery.base import TrajectoryRecoverer
+from .metrics import aggregate, as_percentages, matching_metrics, recovery_metrics
+
+
+def evaluate_recovery(
+    recoverer: TrajectoryRecoverer,
+    dataset: Dataset,
+    samples: Optional[Sequence[TrajectorySample]] = None,
+    distance: Optional[NetworkDistance] = None,
+) -> Dict[str, float]:
+    """Mean Table III metrics of ``recoverer`` over the test split."""
+    samples = dataset.test if samples is None else samples
+    distance = distance or NetworkDistance(dataset.network)
+    rows = []
+    for sample in samples:
+        recovered = recoverer.recover(sample.sparse, dataset.epsilon)
+        rows.append(recovery_metrics(recovered, sample.dense, distance))
+    return as_percentages(aggregate(rows))
+
+
+def evaluate_matching(
+    matcher: MapMatcher,
+    dataset: Dataset,
+    samples: Optional[Sequence[TrajectorySample]] = None,
+) -> Dict[str, float]:
+    """Mean Table V metrics of ``matcher`` over the test split."""
+    samples = dataset.test if samples is None else samples
+    rows = []
+    for sample in samples:
+        route = matcher.match(sample.sparse)
+        rows.append(matching_metrics(route, sample.route))
+    return as_percentages(aggregate(rows))
+
+
+def train_method(method, dataset: Dataset, epochs: int) -> List[float]:
+    """Train any matcher/recoverer for ``epochs`` via its epoch API.
+
+    Returns per-epoch losses.  Methods whose matcher needs training first
+    (recoverers) handle that inside their own ``fit``; here we train the
+    embedded matcher explicitly so epoch counts stay comparable.
+    """
+    losses = []
+    inner = getattr(method, "matcher", None)
+    if inner is not None and getattr(inner, "requires_training", False):
+        for _ in range(epochs):
+            inner.fit_epoch(dataset)
+    for _ in range(epochs):
+        losses.append(method.fit_epoch(dataset))
+    return losses

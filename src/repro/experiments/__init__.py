@@ -1,0 +1,9 @@
+"""Experiment modules: one per table/figure of the paper's Section VI."""
+
+from .common import BENCH, FULL, TINY, ExperimentScale, clear_caches
+from .registry import EXPERIMENTS, Experiment, run_experiment
+
+__all__ = [
+    "ExperimentScale", "TINY", "BENCH", "FULL", "clear_caches",
+    "EXPERIMENTS", "Experiment", "run_experiment",
+]

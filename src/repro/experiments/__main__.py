@@ -1,0 +1,39 @@
+"""CLI: regenerate one paper artefact.
+
+    python -m repro.experiments fig2
+    python -m repro.experiments table5 --scale tiny
+    python -m repro.experiments all --scale bench
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .common import BENCH, FULL, TINY
+from .registry import EXPERIMENTS, run_experiment
+
+SCALES = {"tiny": TINY, "bench": BENCH, "full": FULL}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments", description=__doc__
+    )
+    parser.add_argument(
+        "experiment",
+        help=f"experiment id ({', '.join(sorted(EXPERIMENTS))}) or 'all'",
+    )
+    parser.add_argument("--scale", choices=sorted(SCALES), default="bench")
+    args = parser.parse_args(argv)
+    scale = SCALES[args.scale]
+
+    ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for experiment_id in ids:
+        print(run_experiment(experiment_id, scale))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

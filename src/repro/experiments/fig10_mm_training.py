@@ -1,0 +1,42 @@
+"""Fig. 10: map-matching training time per epoch (seconds).
+
+FMM and Nearest require no training (reported as 0, as the paper notes for
+FMM).  Expected shape: MMA trains fastest among the learned matchers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..eval.efficiency import training_time_per_epoch
+from ..utils.tables import render_metric_table
+from .common import BENCH, ExperimentScale, build_matchers, get_dataset
+
+
+def run(scale: ExperimentScale = BENCH) -> Dict[str, Dict[str, float]]:
+    """{dataset: {method: seconds per training epoch}}."""
+    results: Dict[str, Dict[str, float]] = {}
+    for name in scale.datasets:
+        dataset = get_dataset(name, scale)
+        matchers = build_matchers(dataset, scale)
+        times: Dict[str, float] = {}
+        for method, matcher in matchers.items():
+            if not matcher.requires_training:
+                times[method] = 0.0
+                continue
+            times[method] = training_time_per_epoch(matcher, dataset)
+        results[name] = times
+    return results
+
+
+def report(results: Dict[str, Dict[str, float]]) -> str:
+    blocks = []
+    for name, times in results.items():
+        table = {method: {"s/epoch": t} for method, t in times.items()}
+        blocks.append(
+            render_metric_table(
+                table, ("s/epoch",),
+                title=f"Fig. 10 ({name}) — matching training time per epoch",
+            )
+        )
+    return "\n\n".join(blocks)

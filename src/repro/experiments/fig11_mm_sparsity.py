@@ -1,0 +1,56 @@
+"""Fig. 11: map-matching F1 vs sparsity level γ ∈ {0.1..0.5}.
+
+Expected shape: all matchers degrade as input gets sparser; MMA best at
+every sparsity level on every dataset.
+
+Matchers are retrained per γ (input statistics change); the heuristic
+matchers (Nearest, FMM) need no retraining but are re-evaluated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..eval.evaluate import evaluate_matching
+from ..utils.tables import render_series
+from .common import BENCH, ExperimentScale, build_matchers, fit_matcher, get_dataset
+
+GAMMAS = (0.1, 0.2, 0.3, 0.4, 0.5)
+METHODS = ("MMA", "FMM", "LHMM", "Nearest", "DeepMM")
+
+
+def run(
+    scale: ExperimentScale = BENCH,
+    gammas: Sequence[float] = GAMMAS,
+    methods: Sequence[str] = METHODS,
+) -> Dict[str, Dict[str, Dict[float, float]]]:
+    """{dataset: {method: {gamma: F1 percent}}}."""
+    results: Dict[str, Dict[str, Dict[float, float]]] = {}
+    for name in scale.datasets:
+        base = get_dataset(name, scale)
+        per_method: Dict[str, Dict[float, float]] = {m: {} for m in methods}
+        for gamma in gammas:
+            dataset = base.with_gamma(gamma)
+            matchers = build_matchers(dataset, scale)
+            for method in methods:
+                matcher = matchers[method]
+                fit_matcher(matcher, dataset, scale.matcher_epochs)
+                metrics = evaluate_matching(matcher, dataset)
+                per_method[method][gamma] = metrics["f1"]
+        results[name] = per_method
+    return results
+
+
+def report(results: Dict[str, Dict[str, Dict[float, float]]]) -> str:
+    blocks = []
+    for name, per_method in results.items():
+        gammas = sorted(next(iter(per_method.values())).keys())
+        series = {m: [c[g] for g in gammas] for m, c in per_method.items()}
+        blocks.append(
+            render_series(
+                "gamma", gammas, series,
+                title=f"Fig. 11 ({name}) — matching F1 (%) vs sparsity",
+                precision=2,
+            )
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,40 @@
+"""Fig. 5: inference time per 1000 trajectory recoveries (seconds).
+
+Expected shape: TRMMA fastest among the learned methods; the whole-network
+decoders (RNTrajRec in particular, with its per-point subgraph processing)
+orders of magnitude slower.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..eval.efficiency import recovery_inference_time
+from ..utils.tables import render_metric_table
+from .common import BENCH, ExperimentScale, get_dataset, trained_recoverers
+
+
+def run(scale: ExperimentScale = BENCH) -> Dict[str, Dict[str, float]]:
+    """{dataset: {method: seconds per 1000 recoveries}}."""
+    results: Dict[str, Dict[str, float]] = {}
+    for name in scale.datasets:
+        dataset = get_dataset(name, scale)
+        recoverers = trained_recoverers(name, scale)
+        results[name] = {
+            method: recovery_inference_time(rec, dataset)
+            for method, rec in recoverers.items()
+        }
+    return results
+
+
+def report(results: Dict[str, Dict[str, float]]) -> str:
+    blocks = []
+    for name, times in results.items():
+        table = {method: {"s/1000": t} for method, t in times.items()}
+        blocks.append(
+            render_metric_table(
+                table, ("s/1000",),
+                title=f"Fig. 5 ({name}) — recovery inference time per 1000",
+            )
+        )
+    return "\n\n".join(blocks)

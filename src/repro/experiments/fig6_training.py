@@ -1,0 +1,47 @@
+"""Fig. 6: training time per epoch of the recovery methods (seconds).
+
+Expected shape: TRMMA cheapest among learned recoverers (its losses touch
+only the route's segments), RNTrajRec most expensive (per-point subgraphs +
+|E|-way cross-entropy every step).
+
+Fresh model instances are timed (one epoch each) so the figure does not
+perturb the cached trained suites.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..eval.efficiency import training_time_per_epoch
+from ..utils.tables import render_metric_table
+from .common import BENCH, ExperimentScale, build_recoverers, get_dataset
+
+
+def run(scale: ExperimentScale = BENCH) -> Dict[str, Dict[str, float]]:
+    """{dataset: {method: seconds per training epoch}} (untrained methods
+    such as Linear are reported as 0, as in the paper's figure)."""
+    results: Dict[str, Dict[str, float]] = {}
+    for name in scale.datasets:
+        dataset = get_dataset(name, scale)
+        recoverers = build_recoverers(dataset, scale)
+        times: Dict[str, float] = {}
+        for method, rec in recoverers.items():
+            if not rec.requires_training:
+                times[method] = 0.0
+                continue
+            times[method] = training_time_per_epoch(rec, dataset)
+        results[name] = times
+    return results
+
+
+def report(results: Dict[str, Dict[str, float]]) -> str:
+    blocks = []
+    for name, times in results.items():
+        table = {method: {"s/epoch": t} for method, t in times.items()}
+        blocks.append(
+            render_metric_table(
+                table, ("s/epoch",),
+                title=f"Fig. 6 ({name}) — recovery training time per epoch",
+            )
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,66 @@
+"""Fig. 8: robustness vs amount of training data.
+
+Recovery accuracy when training on a fraction of the training split.  The
+paper sweeps 1%-100% over millions of trips; at repo scale the fractions
+below keep at least a couple of trajectories in the smallest setting.
+
+Expected shape: accuracy grows with data for every learned method; Linear
+(training-free) is flat; TRMMA overtakes everything once it has more than a
+few trajectories and keeps the lead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..eval.evaluate import evaluate_recovery
+from ..utils.tables import render_series
+from .common import (
+    BENCH,
+    ExperimentScale,
+    build_recoverers,
+    get_dataset,
+    get_distance,
+    train_recoverer,
+)
+
+FRACTIONS = (0.1, 0.3, 0.6, 1.0)
+METHODS = ("TRMMA", "RNTrajRec", "MTrajRec", "Linear")
+
+
+def run(
+    scale: ExperimentScale = BENCH,
+    fractions: Sequence[float] = FRACTIONS,
+    methods: Sequence[str] = METHODS,
+) -> Dict[str, Dict[str, Dict[float, float]]]:
+    """{dataset: {method: {fraction: accuracy percent}}}."""
+    results: Dict[str, Dict[str, Dict[float, float]]] = {}
+    for name in scale.datasets:
+        base = get_dataset(name, scale)
+        distance = get_distance(name, scale)
+        per_method: Dict[str, Dict[float, float]] = {m: {} for m in methods}
+        for fraction in fractions:
+            dataset = base.with_training_fraction(fraction)
+            recoverers = build_recoverers(dataset, scale)
+            for method in methods:
+                rec = recoverers[method]
+                train_recoverer(rec, dataset, scale)
+                metrics = evaluate_recovery(rec, dataset, distance=distance)
+                per_method[method][fraction] = metrics["accuracy"]
+        results[name] = per_method
+    return results
+
+
+def report(results: Dict[str, Dict[str, Dict[float, float]]]) -> str:
+    blocks = []
+    for name, per_method in results.items():
+        fractions = sorted(next(iter(per_method.values())).keys())
+        series = {m: [c[f] for f in fractions] for m, c in per_method.items()}
+        blocks.append(
+            render_series(
+                "fraction", fractions, series,
+                title=f"Fig. 8 ({name}) — accuracy (%) vs training fraction",
+                precision=2,
+            )
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,40 @@
+"""Fig. 9: map-matching inference time per 1000 trajectories (seconds).
+
+Expected shape: MMA fastest or near-fastest among learned methods (Nearest
+is trivially cheap but inaccurate); DeepMM/GraphMM/RNTrajRec markedly
+slower.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..eval.efficiency import matching_inference_time
+from ..utils.tables import render_metric_table
+from .common import BENCH, ExperimentScale, get_dataset, trained_matchers
+
+
+def run(scale: ExperimentScale = BENCH) -> Dict[str, Dict[str, float]]:
+    """{dataset: {method: seconds per 1000 matchings}}."""
+    results: Dict[str, Dict[str, float]] = {}
+    for name in scale.datasets:
+        dataset = get_dataset(name, scale)
+        matchers = trained_matchers(name, scale)
+        results[name] = {
+            method: matching_inference_time(matcher, dataset)
+            for method, matcher in matchers.items()
+        }
+    return results
+
+
+def report(results: Dict[str, Dict[str, float]]) -> str:
+    blocks = []
+    for name, times in results.items():
+        table = {method: {"s/1000": t} for method, t in times.items()}
+        blocks.append(
+            render_metric_table(
+                table, ("s/1000",),
+                title=f"Fig. 9 ({name}) — matching inference time per 1000",
+            )
+        )
+    return "\n\n".join(blocks)

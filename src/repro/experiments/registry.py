@@ -1,0 +1,80 @@
+"""Registry mapping experiment ids to their run/report functions.
+
+``python -m repro.experiments <id>`` (see ``__main__``) regenerates one
+table/figure; the ``benchmarks/`` suite wraps the same entries with
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from . import (
+    fig2_candidates,
+    table2_statistics,
+    fig5_inference,
+    fig6_training,
+    fig7_sparsity,
+    fig8_training_size,
+    fig9_mm_inference,
+    fig10_mm_training,
+    fig11_mm_sparsity,
+    table3_recovery,
+    table4_ablation,
+    table5_matching,
+)
+from .common import BENCH, ExperimentScale
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible paper artefact."""
+
+    id: str
+    title: str
+    run: Callable
+    report: Callable
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    exp.id: exp
+    for exp in [
+        Experiment("fig2", "candidate hit ratio vs k_c",
+                   fig2_candidates.run, fig2_candidates.report),
+        Experiment("table2", "dataset statistics",
+                   table2_statistics.run, table2_statistics.report),
+        Experiment("table3", "trajectory recovery effectiveness",
+                   table3_recovery.run, table3_recovery.report),
+        Experiment("fig5", "recovery inference time",
+                   fig5_inference.run, fig5_inference.report),
+        Experiment("fig6", "recovery training time per epoch",
+                   fig6_training.run, fig6_training.report),
+        Experiment("fig7", "recovery accuracy vs sparsity",
+                   fig7_sparsity.run, fig7_sparsity.report),
+        Experiment("table4", "TRMMA ablation study",
+                   table4_ablation.run, table4_ablation.report),
+        Experiment("fig8", "recovery accuracy vs training data size",
+                   fig8_training_size.run, fig8_training_size.report),
+        Experiment("table5", "map matching effectiveness",
+                   table5_matching.run, table5_matching.report),
+        Experiment("fig9", "matching inference time",
+                   fig9_mm_inference.run, fig9_mm_inference.report),
+        Experiment("fig10", "matching training time per epoch",
+                   fig10_mm_training.run, fig10_mm_training.report),
+        Experiment("fig11", "matching F1 vs sparsity",
+                   fig11_mm_sparsity.run, fig11_mm_sparsity.report),
+    ]
+}
+
+
+def run_experiment(experiment_id: str, scale: ExperimentScale = BENCH) -> str:
+    """Run one experiment and return its printed report."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"choose from {sorted(EXPERIMENTS)}"
+        )
+    experiment = EXPERIMENTS[experiment_id]
+    results = experiment.run(scale)
+    return experiment.report(results)

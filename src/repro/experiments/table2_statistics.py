@@ -1,0 +1,76 @@
+"""Table II: dataset statistics.
+
+The paper's Table II characterises the four datasets (ε sampling rate,
+average points per trajectory, average trip length and travel time, network
+size).  This module prints the same rows for the generated analogues so the
+scale relationship between the reproduction and the original corpora is
+explicit: the *ratios* between cities (BJ has the largest network and the
+coarsest ε; XA the densest sampling; trips are a few km / several minutes)
+are preserved, while absolute counts are laptop-scale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..utils.tables import render_metric_table
+from .common import BENCH, ExperimentScale, get_dataset
+
+#: The paper's Table II values, for side-by-side comparison in the report.
+PAPER_TABLE_II = {
+    "PT": {"epsilon_s": 15, "avg_points": 40.21, "avg_length_m": 4180.41,
+           "avg_travel_time_s": 585.12, "n_segments": 11491,
+           "n_intersections": 5330},
+    "XA": {"epsilon_s": 12, "avg_points": 69.36, "avg_length_m": 5049.27,
+           "avg_travel_time_s": 816.44, "n_segments": 5699,
+           "n_intersections": 2579},
+    "BJ": {"epsilon_s": 60, "avg_points": 31.59, "avg_length_m": 6494.78,
+           "avg_travel_time_s": 845.95, "n_segments": 65276,
+           "n_intersections": 28738},
+    "CD": {"epsilon_s": 12, "avg_points": 54.32, "avg_length_m": 4397.41,
+           "avg_travel_time_s": 636.37, "n_segments": 9255,
+           "n_intersections": 3973},
+}
+
+METRICS = (
+    "n_trajectories", "epsilon_s", "avg_points", "avg_length_m",
+    "avg_travel_time_s", "n_segments", "n_intersections",
+)
+
+
+def run(scale: ExperimentScale = BENCH) -> Dict[str, Dict[str, float]]:
+    """{dataset: statistics} for the generated analogues."""
+    return {
+        name: get_dataset(name, scale).statistics() for name in scale.datasets
+    }
+
+
+def report(results: Dict[str, Dict[str, float]]) -> str:
+    measured = render_metric_table(
+        results, METRICS,
+        method_header="Dataset",
+        title="Table II (measured) — generated dataset statistics",
+    )
+    paper = render_metric_table(
+        {k: v for k, v in PAPER_TABLE_II.items() if k in results},
+        METRICS[1:],
+        method_header="Dataset",
+        title="Table II (paper) — original corpora",
+    )
+    return f"{measured}\n\n{paper}"
+
+
+def relative_ordering_preserved(results: Dict[str, Dict[str, float]]) -> bool:
+    """Do the generated cities keep the paper's cross-city ordering?
+
+    Checks the two structural facts every experiment leans on: BJ has the
+    largest network and the coarsest sampling rate.
+    """
+    if "BJ" not in results:
+        return True
+    others = [n for n in results if n != "BJ"]
+    return all(
+        results["BJ"]["n_segments"] > results[o]["n_segments"]
+        and results["BJ"]["epsilon_s"] > results[o]["epsilon_s"]
+        for o in others
+    )

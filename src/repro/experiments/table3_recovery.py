@@ -1,0 +1,44 @@
+"""Table III: effectiveness of trajectory recovery.
+
+Recall / Precision / F1 / Accuracy (percent, higher better) and MAE / RMSE
+(metres, lower better) of every recovery method on every dataset.
+
+Expected shape: TRMMA best on every dataset and metric; RNTrajRec the
+strongest competitor; Linear and the representation-learning baselines
+(TrajGAT/TrajCL/ST2Vec+Dec) behind the specialised methods.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..eval.evaluate import evaluate_recovery
+from ..utils.tables import render_metric_table
+from .common import BENCH, ExperimentScale, get_dataset, get_distance, trained_recoverers
+
+METRICS = ("recall", "precision", "f1", "accuracy", "mae", "rmse")
+
+
+def run(scale: ExperimentScale = BENCH) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """{dataset: {method: {metric: value}}}."""
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for name in scale.datasets:
+        dataset = get_dataset(name, scale)
+        distance = get_distance(name, scale)
+        recoverers = trained_recoverers(name, scale)
+        results[name] = {
+            method: evaluate_recovery(rec, dataset, distance=distance)
+            for method, rec in recoverers.items()
+        }
+    return results
+
+
+def report(results: Dict[str, Dict[str, Dict[str, float]]]) -> str:
+    blocks = []
+    for name, table in results.items():
+        blocks.append(
+            render_metric_table(
+                table, METRICS, title=f"Table III ({name}) — trajectory recovery"
+            )
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,42 @@
+"""Table V: effectiveness of map matching.
+
+Precision / Recall / F1 / Jaccard (percent) of every matcher's returned
+route against the ground-truth route, on every dataset.
+
+Expected shape: MMA best on every dataset and metric; DeepMM/LHMM the
+strongest competitors; Nearest worst (direction-blind).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..eval.evaluate import evaluate_matching
+from ..utils.tables import render_metric_table
+from .common import BENCH, ExperimentScale, get_dataset, trained_matchers
+
+METRICS = ("precision", "recall", "f1", "jaccard")
+
+
+def run(scale: ExperimentScale = BENCH) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """{dataset: {method: {metric: value percent}}}."""
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for name in scale.datasets:
+        dataset = get_dataset(name, scale)
+        matchers = trained_matchers(name, scale)
+        results[name] = {
+            method: evaluate_matching(matcher, dataset)
+            for method, matcher in matchers.items()
+        }
+    return results
+
+
+def report(results: Dict[str, Dict[str, Dict[str, float]]]) -> str:
+    blocks = []
+    for name, table in results.items():
+        blocks.append(
+            render_metric_table(
+                table, METRICS, title=f"Table V ({name}) — map matching"
+            )
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,24 @@
+"""Planar/geodetic geometry: projections, segments, directional features."""
+
+from .points import (
+    EARTH_RADIUS_M,
+    LocalProjection,
+    bearing,
+    cosine_similarity,
+    euclidean,
+    haversine_m,
+    interpolate,
+)
+from .segments import (
+    SegmentGeometry,
+    directional_features,
+    point_segment_distance,
+    project_ratio,
+)
+
+__all__ = [
+    "EARTH_RADIUS_M", "haversine_m", "LocalProjection", "euclidean",
+    "cosine_similarity", "interpolate", "bearing",
+    "SegmentGeometry", "project_ratio", "point_segment_distance",
+    "directional_features",
+]

@@ -1,0 +1,94 @@
+"""Geodetic and planar point math.
+
+Road-network geometry in this library is computed in a local planar frame
+(metres), obtained from latitude/longitude via an equirectangular projection
+anchored at a dataset-specific origin.  At city scale (tens of kilometres)
+the projection error is negligible compared to GPS noise, and planar maths
+keeps the hot paths (candidate search, point-to-segment projection) simple
+and fast.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+#: Mean Earth radius in metres (IUGG).
+EARTH_RADIUS_M = 6_371_008.8
+
+
+def haversine_m(lat1: float, lng1: float, lat2: float, lng2: float) -> float:
+    """Great-circle distance between two WGS84 coordinates, in metres."""
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    dphi = phi2 - phi1
+    dlmb = math.radians(lng2 - lng1)
+    a = math.sin(dphi / 2) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlmb / 2) ** 2
+    return 2 * EARTH_RADIUS_M * math.asin(min(1.0, math.sqrt(a)))
+
+
+@dataclass(frozen=True)
+class LocalProjection:
+    """Equirectangular projection anchored at ``(origin_lat, origin_lng)``.
+
+    ``to_xy`` maps (lat, lng) to planar metres east/north of the origin;
+    ``to_latlng`` inverts it.  The cosine of the origin latitude is frozen at
+    construction so the projection is exactly invertible.
+    """
+
+    origin_lat: float
+    origin_lng: float
+
+    @property
+    def _cos_lat(self) -> float:
+        return math.cos(math.radians(self.origin_lat))
+
+    def to_xy(self, lat: float, lng: float) -> Tuple[float, float]:
+        x = math.radians(lng - self.origin_lng) * EARTH_RADIUS_M * self._cos_lat
+        y = math.radians(lat - self.origin_lat) * EARTH_RADIUS_M
+        return x, y
+
+    def to_latlng(self, x: float, y: float) -> Tuple[float, float]:
+        lat = self.origin_lat + math.degrees(y / EARTH_RADIUS_M)
+        lng = self.origin_lng + math.degrees(x / (EARTH_RADIUS_M * self._cos_lat))
+        return lat, lng
+
+    def to_xy_array(self, latlng: np.ndarray) -> np.ndarray:
+        """Vectorised ``to_xy`` over an ``(n, 2)`` array of (lat, lng)."""
+        latlng = np.asarray(latlng, dtype=np.float64)
+        x = np.radians(latlng[:, 1] - self.origin_lng) * EARTH_RADIUS_M * self._cos_lat
+        y = np.radians(latlng[:, 0] - self.origin_lat) * EARTH_RADIUS_M
+        return np.stack([x, y], axis=1)
+
+
+def euclidean(p: Tuple[float, float], q: Tuple[float, float]) -> float:
+    """Planar distance between two (x, y) points in metres."""
+    return math.hypot(p[0] - q[0], p[1] - q[1])
+
+
+def cosine_similarity(u: Tuple[float, float], v: Tuple[float, float]) -> float:
+    """Cosine of the angle between 2-D vectors ``u`` and ``v``.
+
+    Returns 0.0 when either vector is (numerically) zero — the convention the
+    MMA directional features use for degenerate vectors (e.g. the first point
+    of a trajectory has no predecessor).
+    """
+    nu = math.hypot(*u)
+    nv = math.hypot(*v)
+    if nu < 1e-12 or nv < 1e-12:
+        return 0.0
+    return (u[0] * v[0] + u[1] * v[1]) / (nu * nv)
+
+
+def interpolate(
+    p: Tuple[float, float], q: Tuple[float, float], ratio: float
+) -> Tuple[float, float]:
+    """Point at fraction ``ratio`` of the way from ``p`` to ``q``."""
+    return (p[0] + (q[0] - p[0]) * ratio, p[1] + (q[1] - p[1]) * ratio)
+
+
+def bearing(p: Tuple[float, float], q: Tuple[float, float]) -> float:
+    """Planar heading (radians, in [-pi, pi]) of the vector p -> q."""
+    return math.atan2(q[1] - p[1], q[0] - p[0])

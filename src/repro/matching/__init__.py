@@ -1,0 +1,16 @@
+"""Map-matching methods: MMA and the baselines of Table V."""
+
+from .base import MapMatcher, attach_planner_statistics
+from .deepmm import DeepMMMatcher
+from .fmm import FMMMatcher, UBODT
+from .graphmm import GraphMMMatcher
+from .hmm import HMMMatcher
+from .lhmm import LHMMMatcher
+from .mma import MMAMatcher
+from .nearest import NearestMatcher
+
+__all__ = [
+    "MapMatcher", "attach_planner_statistics",
+    "NearestMatcher", "HMMMatcher", "FMMMatcher", "UBODT",
+    "LHMMMatcher", "DeepMMMatcher", "GraphMMMatcher", "MMAMatcher",
+]

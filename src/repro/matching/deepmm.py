@@ -1,0 +1,133 @@
+"""DeepMM: deep map matching with data augmentation (Feng et al., TMC 2022).
+
+An end-to-end seq2seq model: a GRU encoder reads the (normalised) GPS point
+sequence; a per-step classifier head predicts each point's segment with a
+softmax over **all** |E| segments of the road network.  Training data are
+augmented with statistically perturbed copies (extra GPS noise), following
+the paper's augmentation scheme.
+
+The |E|-way output head is the structural property that makes DeepMM (and
+the other whole-network decoders) slow on large networks — the contrast MMA
+is designed around.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..data.trajectory import GPSPoint, Trajectory
+from ..network.road_network import RoadNetwork
+from ..network.routing import DARoutePlanner
+from ..nn import GRU, Adam, Linear, Tensor, cross_entropy_sequence
+from ..utils.rng import make_rng
+from ..nn.tensor import no_grad
+from .base import MapMatcher
+
+
+class DeepMMMatcher(MapMatcher):
+    """Seq2seq GPS-to-segment matcher over the whole network."""
+
+    name = "DeepMM"
+    requires_training = True
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        planner: Optional[DARoutePlanner] = None,
+        hidden: int = 32,
+        lr: float = 5e-3,
+        n_augment: int = 1,
+        augment_noise: float = 8.0,
+        k_mask: int = 10,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(network, planner)
+        self.k_mask = k_mask
+        rng = make_rng(seed)
+        self.hidden = hidden
+        self.encoder = GRU(3, hidden, seed=rng)
+        self.head = Linear(hidden, network.n_segments, seed=rng)
+        params = self.encoder.parameters() + self.head.parameters()
+        self.optimizer = Adam(params, lr=lr)
+        self.n_augment = n_augment
+        self.augment_noise = augment_noise
+        self._rng = rng
+        self._bbox = network.bounding_box()
+
+    # ---------------------------------------------------------------- features
+
+    def _point_features(self, trajectory: Trajectory) -> np.ndarray:
+        """Min-max normalised (x, y, t) rows for the encoder."""
+        xmin, ymin, xmax, ymax = self._bbox
+        t0 = trajectory[0].t
+        horizon = max(trajectory[-1].t - t0, 1.0)
+        rows = [
+            [
+                (p.x - xmin) / max(xmax - xmin, 1.0),
+                (p.y - ymin) / max(ymax - ymin, 1.0),
+                (p.t - t0) / horizon,
+            ]
+            for p in trajectory
+        ]
+        return np.asarray(rows)
+
+    def _augmented(self, trajectory: Trajectory) -> Trajectory:
+        """A noised copy of the trajectory (DeepMM's data augmentation)."""
+        points = [
+            GPSPoint.from_xy(
+                self.network,
+                p.x + self._rng.normal(0.0, self.augment_noise),
+                p.y + self._rng.normal(0.0, self.augment_noise),
+                p.t,
+            )
+            for p in trajectory
+        ]
+        return Trajectory(points)
+
+    # ---------------------------------------------------------------- training
+
+    def _step(self, trajectory: Trajectory, targets: List[int]) -> float:
+        feats = Tensor(self._point_features(trajectory))
+        outputs, _ = self.encoder(feats)
+        logits = self.head(outputs)  # (seq, |E|) — whole-network softmax
+        loss = cross_entropy_sequence(logits, np.asarray(targets))
+        self.optimizer.zero_grad()
+        loss.backward()
+        self.optimizer.step()
+        return loss.item()
+
+    def fit_epoch(self, dataset) -> float:
+        total, count = 0.0, 0
+        for sample in dataset.train:
+            variants = [sample.sparse] + [
+                self._augmented(sample.sparse) for _ in range(self.n_augment)
+            ]
+            for variant in variants:
+                total += self._step(variant, sample.gt_segments)
+                count += 1
+        return total / max(count, 1)
+
+    def fit(self, dataset, epochs: int = 3) -> "DeepMMMatcher":
+        for _ in range(epochs):
+            self.fit_epoch(dataset)
+        return self
+
+    # --------------------------------------------------------------- inference
+
+    def match_points(self, trajectory: Trajectory) -> List[int]:
+        with no_grad():
+            feats = Tensor(self._point_features(trajectory))
+            outputs, _ = self.encoder(feats)
+            logits = self.head(outputs).data
+        segments = []
+        for i, p in enumerate(trajectory):
+            # Restrict the |E|-way argmax to the point's spatial candidates;
+            # at repo scale an unrestricted softmax would need orders of
+            # magnitude more training data than we simulate.
+            hits = self.network.nearest_segments(p.x, p.y, k=self.k_mask)
+            candidate_ids = [e for e, _ in hits]
+            best = max(candidate_ids, key=lambda e: logits[i, e])
+            segments.append(int(best))
+        return segments

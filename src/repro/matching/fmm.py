@@ -1,0 +1,78 @@
+"""FMM: fast map matching with precomputation (Yang & Gidofalvi, IJGIS 2018).
+
+FMM keeps the Newson-Krumm HMM model but removes the per-query shortest-path
+cost with an **Upper-Bounded Origin-Destination Table (UBODT)**: a
+precomputed table of all node pairs whose network distance is below a bound
+``delta``, filled by one bounded Dijkstra per node.  Transition distances
+then become O(1) hash lookups; pairs beyond ``delta`` are treated as
+unreachable (the same bound caps plausible inter-point travel).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+from ..network.road_network import RoadNetwork
+from ..network.routing import DARoutePlanner
+from ..network.shortest_path import dijkstra
+from .hmm import HMMMatcher
+
+
+class UBODT:
+    """Upper-bounded origin-destination table of node-pair distances."""
+
+    def __init__(self, network: RoadNetwork, delta: float = 3_000.0) -> None:
+        self.delta = delta
+        self._table: Dict[Tuple[int, int], float] = {}
+        for source in range(network.n_nodes):
+            dist, _ = dijkstra(network, source, max_cost=delta)
+            for node, d in dist.items():
+                if node != source:
+                    self._table[(source, node)] = d
+
+    def lookup(self, u: int, v: int) -> float:
+        """Network distance u -> v, or inf when beyond the bound."""
+        if u == v:
+            return 0.0
+        return self._table.get((u, v), math.inf)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+
+class FMMMatcher(HMMMatcher):
+    """HMM matching backed by a UBODT instead of on-line Dijkstra."""
+
+    name = "FMM"
+    requires_training = False
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        planner: Optional[DARoutePlanner] = None,
+        sigma_z: float = 6.0,
+        beta: float = 30.0,
+        k_candidates: int = 8,
+        delta: float = 3_000.0,
+        ubodt: Optional[UBODT] = None,
+    ) -> None:
+        super().__init__(
+            network,
+            planner,
+            sigma_z=sigma_z,
+            beta=beta,
+            k_candidates=k_candidates,
+        )
+        #: The precomputed table; building it is FMM's one-off setup cost.
+        self.ubodt = ubodt or UBODT(network, delta=delta)
+
+    def _route_distance(self, e1: int, r1: float, e2: int, r2: float) -> float:
+        net = self.network
+        length1 = net.segment_length(e1)
+        if e1 == e2 and r2 >= r1:
+            return (r2 - r1) * length1
+        gap = self.ubodt.lookup(net.segments[e1].v, net.segments[e2].u)
+        if not math.isfinite(gap):
+            return math.inf
+        return (1.0 - r1) * length1 + gap + r2 * net.segment_length(e2)

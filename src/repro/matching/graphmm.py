@@ -1,0 +1,179 @@
+"""GraphMM: graph-centric map matching (Liu et al., TKDE 2024).
+
+GraphMM builds a *candidate graph*: each GPS point contributes its candidate
+segments as nodes; edges connect candidates of consecutive points.  Segment
+embeddings are propagated over road-network topology (one round of
+mean-aggregation message passing — a light GNN), combined with per-candidate
+spatial features, and a conditional pairwise model scores candidate
+transitions.  Decoding maximises unary + pairwise scores over the candidate
+graph (exact, via dynamic programming on the chain).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..data.trajectory import Trajectory
+from ..geometry.segments import directional_features
+from ..network.road_network import RoadNetwork
+from ..network.routing import DARoutePlanner
+from ..nn import MLP, Adam, Embedding, Tensor, concat, log_softmax
+from ..utils.rng import make_rng
+from ..nn.tensor import no_grad
+from .base import MapMatcher
+
+
+class GraphMMMatcher(MapMatcher):
+    """Candidate-graph matcher with GNN-propagated segment embeddings."""
+
+    name = "GraphMM"
+    requires_training = True
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        planner: Optional[DARoutePlanner] = None,
+        dim: int = 24,
+        k_candidates: int = 8,
+        lr: float = 5e-3,
+        transition_bonus: float = 2.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(network, planner)
+        rng = make_rng(seed)
+        self.k_candidates = k_candidates
+        self.dim = dim
+        self.embedding = Embedding(network.n_segments, dim, seed=rng)
+        # Unary scorer: [propagated segment embedding | 6 spatial features].
+        self.scorer = MLP(dim + 6, 2 * dim, 1, seed=rng)
+        params = self.embedding.parameters() + self.scorer.parameters()
+        self.optimizer = Adam(params, lr=lr)
+        #: Log-score bonus for candidate transitions that are topologically
+        #: consistent (connected within two hops on the road graph).
+        self.transition_bonus = transition_bonus
+        self._neighbourhood = self._build_neighbourhood()
+
+    # ------------------------------------------------------------- structure
+
+    def _build_neighbourhood(self) -> List[set]:
+        """Segments reachable within two forward hops (incl. self/twin)."""
+        hood: List[set] = []
+        for e in range(self.network.n_segments):
+            near = {e}
+            twin = self.network.reverse_of(e)
+            if twin is not None:
+                near.add(twin)
+            for s in self.network.successors(e):
+                near.add(s)
+                near.update(self.network.successors(s))
+            hood.append(near)
+        return hood
+
+    def _propagated_embedding(self, edge_ids: np.ndarray) -> Tensor:
+        """One round of mean message passing over road-graph successors."""
+        own = self.embedding(edge_ids)
+        neighbour_rows = []
+        for e in edge_ids:
+            neigh = self.network.successors(int(e)) or [int(e)]
+            neighbour_rows.append(self.embedding(np.asarray(neigh)).mean(axis=0))
+        from ..nn import stack
+
+        neighbours = stack(neighbour_rows, axis=0)
+        return own * 0.5 + neighbours * 0.5
+
+    # --------------------------------------------------------------- features
+
+    def _candidates(self, trajectory: Trajectory):
+        out = []
+        for p in trajectory:
+            hits = self.network.nearest_segments(p.x, p.y, k=self.k_candidates)
+            out.append(hits)
+        return out
+
+    def _spatial_features(
+        self, trajectory: Trajectory, index: int, hits: List[Tuple[int, float]]
+    ) -> np.ndarray:
+        p = trajectory[index]
+        prev_xy = trajectory[index - 1].xy if index > 0 else None
+        next_xy = trajectory[index + 1].xy if index + 1 < len(trajectory) else None
+        rows = []
+        for rank, (e, d) in enumerate(hits):
+            geom = self.network.geometry(e)
+            cos = directional_features(geom, p.xy, prev_xy, next_xy)
+            rows.append([d / 20.0, *cos, rank / max(self.k_candidates, 1)])
+        return np.asarray(rows)
+
+    def _unary_logits(
+        self, trajectory: Trajectory, index: int, hits: List[Tuple[int, float]]
+    ) -> Tensor:
+        edge_ids = np.asarray([e for e, _ in hits])
+        emb = self._propagated_embedding(edge_ids)
+        feats = Tensor(self._spatial_features(trajectory, index, hits))
+        return self.scorer(concat([emb, feats], axis=-1)).reshape(len(hits))
+
+    # --------------------------------------------------------------- training
+
+    def fit_epoch(self, dataset) -> float:
+        total, count = 0.0, 0
+        for sample in dataset.train:
+            candidates = self._candidates(sample.sparse)
+            losses = []
+            for i, hits in enumerate(candidates):
+                edge_ids = [e for e, _ in hits]
+                gt = sample.gt_segments[i]
+                if gt not in edge_ids:
+                    continue
+                logits = self._unary_logits(sample.sparse, i, hits)
+                losses.append(-log_softmax(logits, axis=-1)[edge_ids.index(gt)])
+            if not losses:
+                continue
+            loss = losses[0]
+            for extra in losses[1:]:
+                loss = loss + extra
+            loss = loss * (1.0 / len(losses))
+            self.optimizer.zero_grad()
+            loss.backward()
+            self.optimizer.step()
+            total += loss.item()
+            count += 1
+        return total / max(count, 1)
+
+    def fit(self, dataset, epochs: int = 3) -> "GraphMMMatcher":
+        for _ in range(epochs):
+            self.fit_epoch(dataset)
+        return self
+
+    # --------------------------------------------------------------- decoding
+
+    def match_points(self, trajectory: Trajectory) -> List[int]:
+        candidates = self._candidates(trajectory)
+        n = len(candidates)
+        if n == 0:
+            return []
+        with no_grad():
+            unaries = [
+                self._unary_logits(trajectory, i, hits).data
+                for i, hits in enumerate(candidates)
+            ]
+        # Chain DP: maximise sum of unary scores + pairwise topology bonuses.
+        scores = [unaries[0]]
+        back: List[np.ndarray] = []
+        for i in range(1, n):
+            prev_edges = [e for e, _ in candidates[i - 1]]
+            cur_edges = [e for e, _ in candidates[i]]
+            pair = np.zeros((len(prev_edges), len(cur_edges)))
+            for a, e1 in enumerate(prev_edges):
+                for b, e2 in enumerate(cur_edges):
+                    if e2 in self._neighbourhood[e1] or e1 in self._neighbourhood[e2]:
+                        pair[a, b] = self.transition_bonus
+            combined = scores[-1][:, None] + pair
+            back.append(combined.argmax(axis=0))
+            scores.append(combined.max(axis=0) + unaries[i])
+
+        idx = [0] * n
+        idx[-1] = int(scores[-1].argmax())
+        for i in range(n - 1, 0, -1):
+            idx[i - 1] = int(back[i - 1][idx[i]])
+        return [candidates[i][idx[i]][0] for i in range(n)]

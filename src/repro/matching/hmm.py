@@ -1,0 +1,149 @@
+"""Hidden Markov Model map matching (Newson & Krumm, SIGSPATIAL 2009).
+
+The classical baseline: per point, candidate segments are hidden states;
+
+* **emission**: Gaussian over the perpendicular GPS-to-segment distance with
+  standard deviation ``sigma_z``,
+* **transition**: exponential over the absolute difference between the
+  straight-line gap of consecutive GPS points and the road-network travel
+  distance between their candidate projections (scale ``beta``) — drivers
+  rarely detour, so similar distances are likely,
+* **decoding**: Viterbi over the candidate lattice.
+
+The matched route is reconstructed from the per-transition shortest paths,
+so HMM output routes are connected by construction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from ..data.trajectory import Trajectory
+from ..network.distances import DirectedNodeDistance
+from ..network.road_network import RoadNetwork
+from ..network.routing import DARoutePlanner
+from .base import MapMatcher
+
+NEG_INF = -math.inf
+
+
+class HMMMatcher(MapMatcher):
+    """Newson-Krumm HMM map matcher over top-``k_candidates`` candidates."""
+
+    name = "HMM"
+    requires_training = False
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        planner: Optional[DARoutePlanner] = None,
+        sigma_z: float = 6.0,
+        beta: float = 30.0,
+        k_candidates: int = 8,
+        max_route_cost: float = 4_000.0,
+    ) -> None:
+        super().__init__(network, planner)
+        self.sigma_z = sigma_z
+        self.beta = beta
+        self.k_candidates = k_candidates
+        self._distance = DirectedNodeDistance(network, max_cost=max_route_cost)
+
+    # ---------------------------------------------------------- probabilities
+
+    def emission_logp(self, distance_m: float) -> float:
+        """log of the Gaussian emission density (up to a constant)."""
+        z = distance_m / self.sigma_z
+        return -0.5 * z * z
+
+    def transition_logp(self, straight_gap: float, route_gap: float) -> float:
+        """log of the exponential transition density (up to a constant)."""
+        if not math.isfinite(route_gap):
+            return NEG_INF
+        return -abs(straight_gap - route_gap) / self.beta
+
+    def _route_distance(
+        self, e1: int, r1: float, e2: int, r2: float
+    ) -> float:
+        """Directed travel distance between two candidate projections.
+
+        Moving *backwards* on a directed segment is impossible: regressing
+        on the same segment requires leaving via its exit and looping back,
+        which is the cost that lets Viterbi reject wrong-direction twins.
+        """
+        net = self.network
+        length1 = net.segment_length(e1)
+        if e1 == e2 and r2 >= r1:
+            return (r2 - r1) * length1
+        gap = self._distance.node_distance(net.segments[e1].v, net.segments[e2].u)
+        if not math.isfinite(gap):
+            return math.inf
+        return (1.0 - r1) * length1 + gap + r2 * net.segment_length(e2)
+
+    # ---------------------------------------------------------------- viterbi
+
+    def _candidates(self, trajectory: Trajectory) -> List[List[Tuple[int, float, float]]]:
+        """Per point: list of (edge_id, perpendicular distance, ratio)."""
+        result = []
+        for p in trajectory:
+            hits = self.network.nearest_segments(p.x, p.y, k=self.k_candidates)
+            result.append(
+                [
+                    (e, d, self.network.project_onto(e, p.x, p.y))
+                    for e, d in hits
+                ]
+            )
+        return result
+
+    def match_points(self, trajectory: Trajectory) -> List[int]:
+        candidates = self._candidates(trajectory)
+        n = len(candidates)
+        if n == 0:
+            return []
+
+        log_prob: List[List[float]] = []
+        back: List[List[int]] = []
+        log_prob.append([self.emission_logp(d) for _, d, _ in candidates[0]])
+        back.append([-1] * len(candidates[0]))
+
+        for i in range(1, n):
+            prev_pts = trajectory[i - 1]
+            cur_pts = trajectory[i]
+            straight = math.hypot(cur_pts.x - prev_pts.x, cur_pts.y - prev_pts.y)
+            row_scores: List[float] = []
+            row_back: List[int] = []
+            for e2, d2, r2 in candidates[i]:
+                best_score, best_j = NEG_INF, 0
+                for j, (e1, _, r1) in enumerate(candidates[i - 1]):
+                    if log_prob[i - 1][j] == NEG_INF:
+                        continue
+                    route_gap = self._route_distance(e1, r1, e2, r2)
+                    score = log_prob[i - 1][j] + self.transition_logp(
+                        straight, route_gap
+                    )
+                    if score > best_score:
+                        best_score, best_j = score, j
+                row_scores.append(best_score + self.emission_logp(d2))
+                row_back.append(best_j)
+            # If every path died (disconnected candidates), restart the chain
+            # at this point — the standard HMM-break heuristic.
+            if all(s == NEG_INF for s in row_scores):
+                row_scores = [self.emission_logp(d) for _, d, _ in candidates[i]]
+                row_back = [int(_argmax(log_prob[i - 1]))] * len(candidates[i])
+            log_prob.append(row_scores)
+            back.append(row_back)
+
+        # Backtrack.
+        path_idx = [0] * n
+        path_idx[-1] = int(_argmax(log_prob[-1]))
+        for i in range(n - 1, 0, -1):
+            path_idx[i - 1] = back[i][path_idx[i]]
+        return [candidates[i][path_idx[i]][0] for i in range(n)]
+
+
+def _argmax(values: Sequence[float]) -> int:
+    best, best_i = NEG_INF, 0
+    for i, v in enumerate(values):
+        if v > best:
+            best, best_i = v, i
+    return best_i

@@ -1,0 +1,167 @@
+"""LHMM: learning-enhanced HMM map matching (Shi et al., ICDE 2023).
+
+LHMM keeps the HMM lattice but replaces the hand-tuned Gaussian emission
+with *learned* probabilities: a small neural scorer over candidate features
+(perpendicular distance, segment length, candidate rank — the distance-type
+signals LHMM's learned probabilities model) is trained discriminatively —
+softmax over each point's candidate set against the ground-truth segment.
+At inference the learned emission log-probabilities are combined with the
+classical exponential transition model and decoded with Viterbi.
+
+Note the feature set deliberately excludes MMA's directional cosine
+features: modelling the *directional relationship* between a GPS point, its
+trajectory neighbours, and a candidate segment is MMA's contribution
+(Section IV-B), not part of LHMM's learned-probability enhancement.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..data.trajectory import Trajectory
+from ..network.road_network import RoadNetwork
+from ..network.routing import DARoutePlanner
+from ..nn import MLP, Adam, Tensor, log_softmax
+from ..nn.tensor import no_grad
+from .hmm import HMMMatcher
+
+_N_FEATURES = 3
+
+
+class LHMMMatcher(HMMMatcher):
+    """HMM with a learned emission model."""
+
+    name = "LHMM"
+    requires_training = True
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        planner: Optional[DARoutePlanner] = None,
+        beta: float = 30.0,
+        k_candidates: int = 8,
+        hidden: int = 32,
+        lr: float = 1e-2,
+        seed: int = 0,
+        emission_weight: float = 1.0,
+    ) -> None:
+        super().__init__(network, planner, beta=beta, k_candidates=k_candidates)
+        self.scorer = MLP(_N_FEATURES, hidden, 1, seed=seed)
+        self.optimizer = Adam(self.scorer.parameters(), lr=lr)
+        #: Scale aligning learned emission logits with transition log-probs.
+        self.emission_weight = emission_weight
+
+    # ---------------------------------------------------------------- features
+
+    def _candidate_features(
+        self, trajectory: Trajectory, index: int, edge_id: int, distance: float, rank: int
+    ) -> np.ndarray:
+        geom = self.network.geometry(edge_id)
+        return np.array(
+            [
+                distance / 20.0,
+                math.log1p(geom.length) / 8.0,
+                rank / max(self.k_candidates, 1),
+            ]
+        )
+
+    def _point_feature_matrix(
+        self, trajectory: Trajectory, index: int,
+        candidates: List[Tuple[int, float, float]],
+    ) -> np.ndarray:
+        return np.stack(
+            [
+                self._candidate_features(trajectory, index, e, d, rank)
+                for rank, (e, d, _) in enumerate(candidates)
+            ]
+        )
+
+    # ---------------------------------------------------------------- training
+
+    def fit_epoch(self, dataset) -> float:
+        """One discriminative epoch over the training split."""
+        total_loss, n_terms = 0.0, 0
+        for sample in dataset.train:
+            candidates = self._candidates(sample.sparse)
+            gt = sample.gt_segments
+            losses = []
+            for i, cands in enumerate(candidates):
+                edge_ids = [e for e, _, _ in cands]
+                if gt[i] not in edge_ids:
+                    continue
+                target = edge_ids.index(gt[i])
+                feats = self._point_feature_matrix(sample.sparse, i, cands)
+                logits = self.scorer(Tensor(feats)).reshape(len(cands))
+                losses.append(-log_softmax(logits, axis=-1)[target])
+            if not losses:
+                continue
+            self.optimizer.zero_grad()
+            loss = losses[0]
+            for extra in losses[1:]:
+                loss = loss + extra
+            loss = loss * (1.0 / len(losses))
+            loss.backward()
+            self.optimizer.step()
+            total_loss += loss.item()
+            n_terms += 1
+        return total_loss / max(n_terms, 1)
+
+    def fit(self, dataset, epochs: int = 3) -> "LHMMMatcher":
+        for _ in range(epochs):
+            self.fit_epoch(dataset)
+        return self
+
+    # --------------------------------------------------------------- inference
+
+    def match_points(self, trajectory: Trajectory) -> List[int]:
+        """Viterbi with learned emissions (overrides the Gaussian)."""
+        candidates = self._candidates(trajectory)
+        n = len(candidates)
+        if n == 0:
+            return []
+        emissions: List[np.ndarray] = []
+        with no_grad():
+            logit_rows = [
+                self.scorer(
+                    Tensor(self._point_feature_matrix(trajectory, i, cands))
+                ).data.reshape(len(cands))
+                for i, cands in enumerate(candidates)
+            ]
+        for i, cands in enumerate(candidates):
+            logits = logit_rows[i]
+            logp = logits - np.log(np.exp(logits - logits.max()).sum()) - logits.max()
+            emissions.append(self.emission_weight * logp)
+
+        log_prob = [list(emissions[0])]
+        back: List[List[int]] = [[-1] * len(candidates[0])]
+        for i in range(1, n):
+            prev_p, cur_p = trajectory[i - 1], trajectory[i]
+            straight = math.hypot(cur_p.x - prev_p.x, cur_p.y - prev_p.y)
+            row_scores, row_back = [], []
+            for ci, (e2, _, r2) in enumerate(candidates[i]):
+                best_score, best_j = -math.inf, 0
+                for j, (e1, _, r1) in enumerate(candidates[i - 1]):
+                    if log_prob[i - 1][j] == -math.inf:
+                        continue
+                    route_gap = self._route_distance(e1, r1, e2, r2)
+                    score = log_prob[i - 1][j] + self.transition_logp(
+                        straight, route_gap
+                    )
+                    if score > best_score:
+                        best_score, best_j = score, j
+                row_scores.append(best_score + emissions[i][ci])
+                row_back.append(best_j)
+            if all(s == -math.inf for s in row_scores):
+                row_scores = list(emissions[i])
+                row_back = [int(np.argmax(log_prob[i - 1]))] * len(candidates[i])
+            log_prob.append(row_scores)
+            back.append(row_back)
+
+        path_idx = [0] * n
+        path_idx[-1] = int(np.argmax(log_prob[-1]))
+        for i in range(n - 1, 0, -1):
+            path_idx[i - 1] = back[i][path_idx[i]]
+        return [candidates[i][path_idx[i]][0] for i in range(n)]

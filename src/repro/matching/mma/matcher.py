@@ -1,0 +1,110 @@
+"""MMA map matcher: Algorithm 1 end to end.
+
+Lines 1-9 map every GPS point to a segment with the :class:`MMAModel`
+classifier; lines 10-13 stitch consecutive segments into the route with the
+DA-based planner.  Training minimises the binary cross-entropy of Eq. 10
+with Adam (lr 1e-3, as in the paper's setup).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ...data.trajectory import Trajectory
+from ...network.node2vec import Node2VecConfig, train_node2vec
+from ...network.road_network import RoadNetwork
+from ...network.routing import DARoutePlanner
+from ...nn import Adam, bce_with_logits
+from ...utils.rng import SeedLike, make_rng
+from ..base import MapMatcher
+from ...nn.tensor import no_grad
+from .candidates import DEFAULT_KC
+from .features import MMAFeatureEncoder
+from .model import MMAModel
+
+
+class MMAMatcher(MapMatcher):
+    """The paper's map-matching method."""
+
+    name = "MMA"
+    requires_training = True
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        planner: Optional[DARoutePlanner] = None,
+        k_c: int = DEFAULT_KC,
+        d0: int = 64,
+        d2: int = 64,
+        ffn_hidden: int = 512,
+        lr: float = 1e-3,
+        use_node2vec: bool = True,
+        use_context: bool = True,
+        use_directional: bool = True,
+        use_distance_feature: bool = True,
+        node2vec_config: Optional[Node2VecConfig] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(network, planner)
+        rng = make_rng(seed)
+        self.encoder = MMAFeatureEncoder(
+            network, k_c=k_c, use_distance_feature=use_distance_feature
+        )
+        pretrained = None
+        if use_node2vec:
+            config = node2vec_config or Node2VecConfig(dimensions=d0)
+            pretrained = train_node2vec(network, config, seed=rng)
+        self.model = MMAModel(
+            network.n_segments,
+            d0=d0,
+            d2=d2,
+            ffn_hidden=ffn_hidden,
+            n_geometric_features=self.encoder.n_geometric_features,
+            pretrained_segment_embeddings=pretrained,
+            use_context=use_context,
+            use_directional=use_directional,
+            seed=rng,
+        )
+        self.optimizer = Adam(self.model.parameters(), lr=lr)
+
+    # ---------------------------------------------------------------- training
+
+    def fit_epoch(self, dataset) -> float:
+        """One epoch of Eq. 10 over the training split; returns mean loss."""
+        self.model.train()
+        total, count = 0.0, 0
+        for sample in dataset.train:
+            encoded = self.encoder.encode(sample.sparse)
+            labels = self.encoder.labels(encoded, sample.gt_segments)
+            logits = self.model(encoded)
+            loss = bce_with_logits(logits, labels)
+            self.optimizer.zero_grad()
+            loss.backward()
+            self.optimizer.step()
+            total += loss.item()
+            count += 1
+        return total / max(count, 1)
+
+    def fit(self, dataset, epochs: int = 5) -> "MMAMatcher":
+        for _ in range(epochs):
+            self.fit_epoch(dataset)
+        return self
+
+    def validation_accuracy(self, dataset) -> float:
+        """Fraction of validation GPS points matched to their true segment."""
+        self.model.eval()
+        correct, total = 0, 0
+        for sample in dataset.val:
+            predicted = self.match_points(sample.sparse)
+            for p, gt in zip(predicted, sample.gt_segments):
+                correct += int(p == gt)
+                total += 1
+        return correct / max(total, 1)
+
+    # --------------------------------------------------------------- matching
+
+    def match_points(self, trajectory: Trajectory) -> List[int]:
+        self.model.eval()
+        encoded = self.encoder.encode(trajectory)
+        with no_grad():
+            return [int(e) for e in self.model.predict_segments(encoded)]

@@ -1,0 +1,135 @@
+"""The MMA neural model (Fig. 3, Eq. 1-9).
+
+Per GPS point ``p_i`` with candidate set ``C_{p_i}``:
+
+* **Candidate segment embedding** (bottom of Fig. 3): segment ids pass
+  through an FC layer initialised with Node2Vec embeddings (Eq. 1); the four
+  directional cosine features are concatenated and a two-layer MLP produces
+  the candidate embedding ``c_j`` (Eq. 2).
+* **Point embedding** (top of Fig. 3): normalised (x, y, t) is projected by
+  an FC layer and a 2-layer, 4-head transformer captures the sequential
+  patterns of T (Eq. 3); an attention MLP scores each candidate against the
+  point (Eq. 7) and the attention-weighted candidate context is added to the
+  point representation (Eq. 8).
+* **Score**: ``P(c_j | p_i) = sigmoid(c_j · p_i)`` (Eq. 9), trained with
+  binary cross-entropy over the candidate labels (Eq. 10).
+
+Ablation switches mirror the paper's Table IV variants: ``use_context``
+(TRMMA-C removes the candidate context from the point embedding) and
+``use_directional`` (TRMMA-DI removes the directional features).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ...nn import (
+    MLP,
+    Embedding,
+    Linear,
+    Module,
+    Tensor,
+    TransformerEncoder,
+    concat,
+    softmax,
+)
+from ...utils.rng import SeedLike, make_rng
+from .features import EncodedTrajectory
+
+
+class MMAModel(Module):
+    """Classification of GPS points over their candidate segment sets."""
+
+    def __init__(
+        self,
+        n_segments: int,
+        d0: int = 64,
+        d1: int = 128,
+        d2: int = 64,
+        d3: int = 256,
+        n_transformer_layers: int = 2,
+        n_heads: int = 4,
+        ffn_hidden: int = 512,
+        n_geometric_features: int = 5,
+        pretrained_segment_embeddings: Optional[np.ndarray] = None,
+        use_context: bool = True,
+        use_directional: bool = True,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        rng = make_rng(seed)
+        self.use_context = use_context
+        self.use_directional = use_directional
+        self.n_geometric_features = n_geometric_features
+
+        # Eq. 1: FC over one-hot ids == embedding table, Node2Vec-initialised.
+        self.segment_embedding = (
+            Embedding.from_pretrained(pretrained_segment_embeddings)
+            if pretrained_segment_embeddings is not None
+            else Embedding(n_segments, d0, seed=rng)
+        )
+        d0 = self.segment_embedding.dim
+        # Eq. 2: candidate MLP over [e_cj | geometric features].
+        self.candidate_mlp = MLP(d0 + n_geometric_features, d1, d2, seed=rng)
+        # Point pipeline: FC then transformer (Eq. 3).
+        self.point_fc = Linear(3, d2, seed=rng)
+        self.transformer = TransformerEncoder(
+            d2,
+            n_layers=n_transformer_layers,
+            n_heads=n_heads,
+            ffn_hidden=ffn_hidden,
+            seed=rng,
+        )
+        # Eq. 7: attention MLP over [z_i | c_j].
+        self.attention_mlp = MLP(2 * d2, d3, 1, seed=rng)
+        self.d2 = d2
+
+    def candidate_embeddings(self, encoded: EncodedTrajectory) -> Tensor:
+        """Candidate embeddings ``c_j`` of shape (l, k_c, d2)."""
+        l, k = encoded.candidate_ids.shape
+        flat_ids = encoded.candidate_ids.reshape(-1)
+        seg = self.segment_embedding(flat_ids)  # (l*k, d0)
+        directions = encoded.candidate_directions.reshape(
+            l * k, self.n_geometric_features
+        )
+        if not self.use_directional:
+            # TRMMA-DI ablation: drop the four cosine features (keep the
+            # distance column — it is a scale adaptation, not paper design).
+            directions = directions.copy()
+            directions[:, :4] = 0.0
+        z = concat([seg, Tensor(directions)], axis=-1)
+        c = self.candidate_mlp(z)  # (l*k, d2)
+        return c.reshape(l, k, self.d2)
+
+    def point_embeddings(
+        self, encoded: EncodedTrajectory, candidates: Tensor
+    ) -> Tensor:
+        """Point embeddings ``p_i`` of shape (l, d2) (Eq. 3, 7, 8)."""
+        l, k = encoded.candidate_ids.shape
+        z1 = self.point_fc(Tensor(encoded.point_features))  # (l, d2)
+        z2 = self.transformer(z1)  # (l, d2)
+        if not self.use_context:
+            return z2
+        # Attention of each candidate to its point (Eq. 7).
+        z2_tiled = z2.reshape(l, 1, self.d2) * Tensor(np.ones((1, k, 1)))
+        pair = concat([z2_tiled, candidates], axis=-1)  # (l, k, 2*d2)
+        scores = self.attention_mlp(pair.reshape(l * k, 2 * self.d2))
+        alpha = softmax(scores.reshape(l, k, 1), axis=1)
+        context = (alpha * candidates).sum(axis=1)  # (l, d2)
+        return z2 + context  # Eq. 8
+
+    def forward(self, encoded: EncodedTrajectory) -> Tensor:
+        """Per-candidate logits of shape (l, k_c); sigmoid gives Eq. 9."""
+        candidates = self.candidate_embeddings(encoded)
+        points = self.point_embeddings(encoded, candidates)
+        l, k = encoded.candidate_ids.shape
+        points_tiled = points.reshape(l, 1, self.d2)
+        return (candidates * points_tiled).sum(axis=-1)  # (l, k)
+
+    def predict_segments(self, encoded: EncodedTrajectory) -> np.ndarray:
+        """Matched segment id per point: argmax_{c in C} P(c | p) (line 9)."""
+        logits = self.forward(encoded).data
+        best = logits.argmax(axis=1)
+        return encoded.candidate_ids[np.arange(len(best)), best]

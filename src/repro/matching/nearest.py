@@ -1,0 +1,31 @@
+"""Nearest-segment matcher — the simplest baseline in Table V.
+
+Maps each GPS point to its single nearest segment by perpendicular distance.
+Ignores direction and sequence, so it systematically confuses the two
+directions of two-way roads — the failure mode motivating MMA's
+classification formulation (Section IV-A, Fig. 2: the nearest segment is the
+true one only ~70% of the time).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..data.trajectory import Trajectory
+from .base import MapMatcher
+
+
+class NearestMatcher(MapMatcher):
+    """Per-point nearest-segment assignment."""
+
+    name = "Nearest"
+    requires_training = False
+
+    def match_points(self, trajectory: Trajectory) -> List[int]:
+        segments = []
+        for p in trajectory:
+            hits = self.network.nearest_segments(p.x, p.y, k=1)
+            if not hits:
+                raise RuntimeError("empty road network")
+            segments.append(hits[0][0])
+        return segments

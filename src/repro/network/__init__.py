@@ -1,0 +1,26 @@
+"""Road-network substrate: graph, generators, routing, embeddings."""
+
+from .distances import DirectedNodeDistance, NetworkDistance
+from .generators import CityConfig, generate_city
+from .io import load_network, read_edge_list, save_network, write_edge_list
+from .node2vec import Node2VecConfig, generate_walks, train_node2vec
+from .road_network import RoadNetwork, Segment
+from .routing import DARoutePlanner, TransitionStatistics
+from .shortest_path import (
+    astar,
+    concatenate_routes,
+    dijkstra,
+    node_shortest_path,
+    route_between_segments,
+    route_gap_distance,
+)
+
+__all__ = [
+    "RoadNetwork", "Segment", "CityConfig", "generate_city",
+    "dijkstra", "astar", "node_shortest_path", "route_between_segments",
+    "route_gap_distance", "concatenate_routes",
+    "DARoutePlanner", "TransitionStatistics", "NetworkDistance",
+    "DirectedNodeDistance",
+    "Node2VecConfig", "train_node2vec", "generate_walks",
+    "save_network", "load_network", "read_edge_list", "write_edge_list",
+]

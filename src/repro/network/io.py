@@ -1,0 +1,93 @@
+"""Road-network file I/O.
+
+Real deployments load networks extracted from OpenStreetMap; this module
+round-trips a :class:`RoadNetwork` (including the optional signal/speed
+attributes) through a single ``.npz`` file, and also reads the simple
+whitespace edge-list text format common in graph repositories::
+
+    # node_id  x_metres  y_metres
+    v 0 12.5 80.0
+    ...
+    # from_node  to_node
+    e 0 1
+    ...
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..geometry.points import LocalProjection
+from .road_network import RoadNetwork
+
+
+def save_network(network: RoadNetwork, path: str) -> None:
+    """Persist a network (geometry, edges, attributes, projection)."""
+    edges = np.asarray([[s.u, s.v] for s in network.segments], dtype=np.int64)
+    payload = {
+        "node_xy": network.node_xy,
+        "edges": edges,
+        "origin": np.asarray(
+            [network.projection.origin_lat, network.projection.origin_lng]
+        ),
+    }
+    if network.signalized_nodes is not None:
+        payload["signalized_nodes"] = network.signalized_nodes
+    if network.speed_factors is not None:
+        payload["speed_factors"] = network.speed_factors
+    np.savez(path, **payload)
+
+
+def load_network(path: str) -> RoadNetwork:
+    """Load a network previously stored with :func:`save_network`."""
+    with np.load(path) as archive:
+        origin = archive["origin"]
+        network = RoadNetwork(
+            archive["node_xy"],
+            [tuple(row) for row in archive["edges"]],
+            projection=LocalProjection(float(origin[0]), float(origin[1])),
+        )
+        if "signalized_nodes" in archive.files:
+            network.signalized_nodes = archive["signalized_nodes"]
+        if "speed_factors" in archive.files:
+            network.speed_factors = archive["speed_factors"]
+    return network
+
+
+def read_edge_list(path: str) -> RoadNetwork:
+    """Read the ``v``/``e`` whitespace edge-list text format."""
+    nodes: List[Tuple[int, float, float]] = []
+    edges: List[Tuple[int, int]] = []
+    with open(path) as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if parts[0] == "v" and len(parts) == 4:
+                nodes.append((int(parts[1]), float(parts[2]), float(parts[3])))
+            elif parts[0] == "e" and len(parts) == 3:
+                edges.append((int(parts[1]), int(parts[2])))
+            else:
+                raise ValueError(f"{path}:{lineno}: unrecognised line {raw!r}")
+    if not nodes:
+        raise ValueError(f"{path}: no nodes found")
+    nodes.sort()
+    ids = [n[0] for n in nodes]
+    if ids != list(range(len(ids))):
+        raise ValueError(f"{path}: node ids must be 0..{len(ids) - 1}")
+    xy = np.asarray([[n[1], n[2]] for n in nodes])
+    return RoadNetwork(xy, edges)
+
+
+def write_edge_list(network: RoadNetwork, path: str) -> None:
+    """Write the ``v``/``e`` text format."""
+    with open(path, "w") as handle:
+        handle.write("# node_id x_metres y_metres\n")
+        for node_id, (x, y) in enumerate(network.node_xy):
+            handle.write(f"v {node_id} {x:.6f} {y:.6f}\n")
+        handle.write("# from_node to_node\n")
+        for seg in network.segments:
+            handle.write(f"e {seg.u} {seg.v}\n")

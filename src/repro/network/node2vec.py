@@ -1,0 +1,134 @@
+"""Node2Vec segment embeddings (Grover & Leskovec, KDD 2016).
+
+MMA pre-learns a ``(n, d0)`` embedding matrix ``W_G`` over all road segments
+with Node2Vec and uses it to initialise the candidate-segment FC layer
+(Eq. 1).  We embed *segments* (not intersections): the walk graph connects
+segment ``e`` to every successor segment sharing its exit node, so walks are
+feasible driving routes and embedding proximity encodes reachability.
+
+Implemented from scratch: second-order (p, q)-biased random walks and
+skip-gram with negative sampling, trained with hand-derived SGD updates
+(no autograd needed — the gradients are two rank-1 updates per pair).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..utils.rng import SeedLike, make_rng
+from .road_network import RoadNetwork
+
+
+@dataclass(frozen=True)
+class Node2VecConfig:
+    dimensions: int = 64
+    walk_length: int = 20
+    walks_per_node: int = 4
+    window: int = 3
+    negatives: int = 4
+    epochs: int = 2
+    learning_rate: float = 0.025
+    p: float = 1.0  # return parameter
+    q: float = 2.0  # in-out parameter (> 1 favours BFS-like local walks)
+
+
+def generate_walks(
+    network: RoadNetwork, config: Node2VecConfig, seed: SeedLike = None
+) -> List[List[int]]:
+    """Second-order biased random walks over the segment graph."""
+    rng = make_rng(seed)
+    walks: List[List[int]] = []
+    n = network.n_segments
+    for _ in range(config.walks_per_node):
+        order = rng.permutation(n)
+        for start in order:
+            walk = [int(start)]
+            while len(walk) < config.walk_length:
+                current = walk[-1]
+                neighbours = network.successors(current)
+                if not neighbours:
+                    break
+                if len(walk) == 1:
+                    walk.append(int(rng.choice(neighbours)))
+                    continue
+                prev = walk[-2]
+                prev_exits = set(network.successors(prev))
+                weights = np.empty(len(neighbours))
+                for i, nxt in enumerate(neighbours):
+                    if nxt == prev or nxt == network.reverse_of(prev):
+                        weights[i] = 1.0 / config.p
+                    elif nxt in prev_exits:
+                        weights[i] = 1.0
+                    else:
+                        weights[i] = 1.0 / config.q
+                weights /= weights.sum()
+                walk.append(int(rng.choice(neighbours, p=weights)))
+            walks.append(walk)
+    return walks
+
+
+def _training_pairs(
+    walks: List[List[int]], window: int, rng: np.random.Generator
+) -> np.ndarray:
+    """(center, context) pairs within the skip-gram window, shuffled."""
+    pairs: List[List[int]] = []
+    for walk in walks:
+        for i, center in enumerate(walk):
+            lo = max(0, i - window)
+            hi = min(len(walk), i + window + 1)
+            for j in range(lo, hi):
+                if j != i:
+                    pairs.append([center, walk[j]])
+    arr = np.asarray(pairs, dtype=np.int64)
+    if len(arr):
+        rng.shuffle(arr)
+    return arr
+
+
+def train_node2vec(
+    network: RoadNetwork,
+    config: Optional[Node2VecConfig] = None,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Learn the ``(n_segments, dimensions)`` embedding matrix ``W_G``."""
+    config = config or Node2VecConfig()
+    rng = make_rng(seed)
+    n, d = network.n_segments, config.dimensions
+    if n == 0:
+        return np.zeros((0, d), dtype=np.float64)
+
+    walks = generate_walks(network, config, seed=rng)
+    pairs = _training_pairs(walks, config.window, rng)
+    emb_in = (rng.random((n, d)) - 0.5) / d
+    emb_out = np.zeros((n, d), dtype=np.float64)
+    if len(pairs) == 0:
+        return emb_in
+
+    # Negative sampling distribution: unigram^(3/4) over context frequency.
+    freq = np.bincount(pairs[:, 1], minlength=n).astype(np.float64)
+    noise = (freq + 1.0) ** 0.75
+    noise /= noise.sum()
+
+    lr = config.learning_rate
+    for _ in range(config.epochs):
+        negatives = rng.choice(n, size=(len(pairs), config.negatives), p=noise)
+        for (center, context), negs in zip(pairs, negatives):
+            v = emb_in[center]
+            # Positive pair: maximise log sigmoid(u_ctx . v).
+            u = emb_out[context]
+            score = 1.0 / (1.0 + np.exp(-np.dot(u, v)))
+            grad_v = (score - 1.0) * u
+            emb_out[context] -= lr * (score - 1.0) * v
+            # Negative pairs: maximise log sigmoid(-u_neg . v).
+            for neg in negs:
+                if neg == context:
+                    continue
+                un = emb_out[neg]
+                score_n = 1.0 / (1.0 + np.exp(-np.dot(un, v)))
+                grad_v += score_n * un
+                emb_out[neg] -= lr * score_n * v
+            emb_in[center] -= lr * grad_v
+    return emb_in

@@ -1,0 +1,231 @@
+"""The road network model (Definition 1).
+
+A road network is a directed graph ``G = (V, E)``: nodes are intersections or
+road ends with planar coordinates (metres, in a local projection), and each
+directed edge is a *road segment* from an entrance node to an exit node.
+Segments are straight lines between their endpoint nodes.
+
+:class:`RoadNetwork` packages the graph with the derived structures every
+method in the library needs:
+
+* per-segment :class:`~repro.geometry.segments.SegmentGeometry` and lengths,
+* adjacency (outgoing/incoming edges per node, segment successor lists),
+* an STR R-tree over segments for top-``k_c`` candidate queries
+  (Definition 8),
+* the local lat/lng projection so GPS coordinates can be mapped into the
+  planar frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry.points import LocalProjection
+from ..geometry.segments import (
+    SegmentGeometry,
+    point_segment_distance,
+    project_ratio,
+)
+from ..spatial.rtree import STRtree
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A directed road segment ``e = (u, v)`` with id ``edge_id``."""
+
+    edge_id: int
+    u: int
+    v: int
+    length: float
+
+
+class RoadNetwork:
+    """Directed road-network graph with spatial indexing.
+
+    Parameters
+    ----------
+    node_xy:
+        ``(m, 2)`` planar coordinates of the intersections, in metres.
+    edges:
+        Sequence of ``(u, v)`` node-id pairs; the segment id of each edge is
+        its position in this sequence.
+    projection:
+        Optional lat/lng <-> xy projection; defaults to an equirectangular
+        frame anchored at (0, 0) so purely synthetic networks still support
+        the GPS-facing API.
+    """
+
+    def __init__(
+        self,
+        node_xy: np.ndarray,
+        edges: Sequence[Tuple[int, int]],
+        projection: Optional[LocalProjection] = None,
+    ) -> None:
+        self.node_xy = np.asarray(node_xy, dtype=np.float64)
+        if self.node_xy.ndim != 2 or self.node_xy.shape[1] != 2:
+            raise ValueError("node_xy must have shape (m, 2)")
+        m = self.node_xy.shape[0]
+        self.projection = projection or LocalProjection(0.0, 0.0)
+
+        self.segments: List[Segment] = []
+        self._geometry: List[SegmentGeometry] = []
+        self.out_edges: List[List[int]] = [[] for _ in range(m)]
+        self.in_edges: List[List[int]] = [[] for _ in range(m)]
+        for edge_id, (u, v) in enumerate(edges):
+            if not (0 <= u < m and 0 <= v < m):
+                raise ValueError(f"edge ({u}, {v}) references unknown node")
+            if u == v:
+                raise ValueError(f"self-loop edge at node {u} is not a road segment")
+            geom = SegmentGeometry(*self.node_xy[u], *self.node_xy[v])
+            self.segments.append(Segment(edge_id, u, v, geom.length))
+            self._geometry.append(geom)
+            self.out_edges[u].append(edge_id)
+            self.in_edges[v].append(edge_id)
+
+        self._edge_index: Dict[Tuple[int, int], int] = {
+            (s.u, s.v): s.edge_id for s in self.segments
+        }
+        self._rtree = STRtree([g.bbox() for g in self._geometry]) if edges else None
+        # Vectorised segment geometry for the brute-force k-NN fast path.
+        if edges:
+            a = np.array([[g.ax, g.ay] for g in self._geometry])
+            b = np.array([[g.bx, g.by] for g in self._geometry])
+            self._seg_a = a
+            self._seg_d = b - a
+            self._seg_len2 = np.maximum((self._seg_d**2).sum(axis=1), 1e-18)
+        else:
+            self._seg_a = np.zeros((0, 2))
+            self._seg_d = np.zeros((0, 2))
+            self._seg_len2 = np.zeros(0)
+        #: Optional per-node traffic-signal flags (OSM ``highway=
+        #: traffic_signals``); set by dataset construction when available.
+        self.signalized_nodes: Optional[np.ndarray] = None
+        #: Optional per-segment free-flow speed factors (road class / speed
+        #: limit, e.g. OSM ``maxspeed``), relative to the city mean.
+        self.speed_factors: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------- basic API
+
+    @property
+    def n_nodes(self) -> int:
+        return self.node_xy.shape[0]
+
+    @property
+    def n_segments(self) -> int:
+        return len(self.segments)
+
+    def geometry(self, edge_id: int) -> SegmentGeometry:
+        return self._geometry[edge_id]
+
+    def segment_length(self, edge_id: int) -> float:
+        return self.segments[edge_id].length
+
+    def edge_between(self, u: int, v: int) -> Optional[int]:
+        """Segment id of edge (u, v), or None if absent."""
+        return self._edge_index.get((u, v))
+
+    def successors(self, edge_id: int) -> List[int]:
+        """Segments whose entrance is this segment's exit node."""
+        return self.out_edges[self.segments[edge_id].v]
+
+    def predecessors(self, edge_id: int) -> List[int]:
+        """Segments whose exit is this segment's entrance node."""
+        return self.in_edges[self.segments[edge_id].u]
+
+    def reverse_of(self, edge_id: int) -> Optional[int]:
+        """The opposite-direction twin segment (v, u), if the road is two-way."""
+        seg = self.segments[edge_id]
+        return self._edge_index.get((seg.v, seg.u))
+
+    def max_out_degree(self) -> int:
+        return max((len(e) for e in self.out_edges), default=0)
+
+    def exit_signalized(self, edge_id: int) -> bool:
+        """Whether the segment's exit node carries a traffic signal."""
+        if self.signalized_nodes is None:
+            return False
+        return bool(self.signalized_nodes[self.segments[edge_id].v])
+
+    def speed_factor(self, edge_id: int) -> float:
+        """Free-flow speed factor of the segment (1.0 when unknown)."""
+        if self.speed_factors is None:
+            return 1.0
+        return float(self.speed_factors[edge_id])
+
+    # ----------------------------------------------------------- spatial API
+
+    def segment_distance(self, edge_id: int, x: float, y: float) -> float:
+        """Perpendicular distance from planar point (x, y) to the segment."""
+        return point_segment_distance(self._geometry[edge_id], x, y)
+
+    #: Below this segment count a vectorised brute-force scan beats the
+    #: R-tree's per-node Python overhead; above it the index wins.
+    BRUTE_FORCE_LIMIT = 20_000
+
+    def all_segment_distances(self, x: float, y: float) -> np.ndarray:
+        """Vectorised perpendicular distance from (x, y) to every segment."""
+        p = np.array([x, y])
+        t = ((p - self._seg_a) * self._seg_d).sum(axis=1) / self._seg_len2
+        t = np.clip(t, 0.0, 1.0)
+        closest = self._seg_a + t[:, None] * self._seg_d
+        return np.sqrt(((closest - p) ** 2).sum(axis=1))
+
+    def nearest_segments(
+        self, x: float, y: float, k: int = 1
+    ) -> List[Tuple[int, float]]:
+        """Top-``k`` nearest segments to planar (x, y), with exact distances.
+
+        This is the candidate-set query of Definition 8 (``k = k_c``).
+        """
+        if self._rtree is None:
+            return []
+        if self.n_segments <= self.BRUTE_FORCE_LIMIT:
+            distances = self.all_segment_distances(x, y)
+            k = min(k, self.n_segments)
+            top = np.argpartition(distances, k - 1)[:k]
+            order = top[np.argsort(distances[top], kind="stable")]
+            # Deterministic tie-breaking by segment id, matching the R-tree.
+            result = sorted(
+                ((float(distances[i]), int(i)) for i in order),
+            )
+            return [(i, d) for d, i in result]
+        return self._rtree.nearest(x, y, k=k, distance_fn=self.segment_distance)
+
+    def project_onto(self, edge_id: int, x: float, y: float) -> float:
+        """Position ratio of the orthogonal projection of (x, y) onto ``edge_id``."""
+        return project_ratio(self._geometry[edge_id], x, y)
+
+    def point_on_segment(self, edge_id: int, ratio: float) -> Tuple[float, float]:
+        """Planar coordinates at position ratio ``ratio`` of segment ``edge_id``."""
+        return self._geometry[edge_id].point_at(ratio)
+
+    # --------------------------------------------------------- GPS-facing API
+
+    def latlng_to_xy(self, lat: float, lng: float) -> Tuple[float, float]:
+        return self.projection.to_xy(lat, lng)
+
+    def xy_to_latlng(self, x: float, y: float) -> Tuple[float, float]:
+        return self.projection.to_latlng(x, y)
+
+    # ------------------------------------------------------------- utilities
+
+    def route_is_path(self, route: Sequence[int]) -> bool:
+        """True iff consecutive segments are connected head-to-tail."""
+        return all(
+            self.segments[a].v == self.segments[b].u
+            for a, b in zip(route, route[1:])
+        )
+
+    def route_length(self, route: Iterable[int]) -> float:
+        return sum(self.segments[e].length for e in route)
+
+    def bounding_box(self) -> Tuple[float, float, float, float]:
+        xmin, ymin = self.node_xy.min(axis=0)
+        xmax, ymax = self.node_xy.max(axis=0)
+        return (float(xmin), float(ymin), float(xmax), float(ymax))
+
+    def __repr__(self) -> str:
+        return f"RoadNetwork(nodes={self.n_nodes}, segments={self.n_segments})"

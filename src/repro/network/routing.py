@@ -1,0 +1,158 @@
+"""Destination-aware (DA) route planning from historical statistics.
+
+The paper connects the matched segments of consecutive GPS points with the
+"DA-based method from [2] that relies on basic statistical counts"
+(Algorithm 1, line 12).  Following that reference, the planner here learns
+segment-to-segment *transition counts* from historical routes, then expands a
+route greedily: from the current segment it prefers the successor most often
+taken historically, discounted by how much progress it makes toward the
+destination.  Expansion is bounded by a maximum route length ``l'`` (giving
+the paper's O(l' * deg) planning cost); when the greedy walk stalls it falls
+back to an exact shortest path.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .road_network import RoadNetwork
+from .shortest_path import route_between_segments
+
+
+class TransitionStatistics:
+    """Historical segment-transition counts with Laplace smoothing."""
+
+    def __init__(self, network: RoadNetwork, smoothing: float = 1.0) -> None:
+        self.network = network
+        self.smoothing = smoothing
+        self._counts: Dict[Tuple[int, int], float] = {}
+        self._totals: Dict[int, float] = {}
+
+    def fit(self, routes: Iterable[Sequence[int]]) -> "TransitionStatistics":
+        """Accumulate transitions from historical routes (segment-id paths)."""
+        for route in routes:
+            for a, b in zip(route, route[1:]):
+                self._counts[(a, b)] = self._counts.get((a, b), 0.0) + 1.0
+                self._totals[a] = self._totals.get(a, 0.0) + 1.0
+        return self
+
+    def probability(self, from_edge: int, to_edge: int) -> float:
+        """Smoothed P(to_edge | from_edge) among the successors of from_edge."""
+        fanout = len(self.network.successors(from_edge))
+        if fanout == 0:
+            return 0.0
+        count = self._counts.get((from_edge, to_edge), 0.0)
+        total = self._totals.get(from_edge, 0.0)
+        return (count + self.smoothing) / (total + self.smoothing * fanout)
+
+    def observed_transitions(self) -> int:
+        return len(self._counts)
+
+
+class DARoutePlanner:
+    """Destination-aware planner over :class:`TransitionStatistics`.
+
+    Plans the route between two segments as a least-cost path on the *edge
+    graph*, where traversing successor ``s`` from segment ``e`` costs
+
+        ``length(s) - tau * log P(s | e)``
+
+    — the physical length discounted by how often drivers historically took
+    that turn.  With ``tau = 0`` this is the exact shortest path; with the
+    default ``tau`` popular manoeuvres are preferred, reproducing the
+    "basic statistical counts" routing of the paper's reference [2].
+    Expansion is bounded by ``max_route_length`` settled segments; when the
+    bounded search fails it falls back to the exact shortest-path route
+    (needed with very low probability, e.g. 0.06% on PT in the paper).
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        statistics: Optional[TransitionStatistics] = None,
+        max_route_length: int = 500,
+        tau: float = 30.0,
+    ) -> None:
+        self.network = network
+        self.statistics = statistics
+        self.max_route_length = max_route_length
+        self.tau = tau
+        self.fallbacks = 0  # number of plans that needed the exact fallback
+        self._cache: dict = {}
+        self._cost_cache: dict = {}
+
+    def plan(self, from_edge: int, to_edge: int) -> List[int]:
+        """Route (connected segment sequence) from ``from_edge`` to ``to_edge``.
+
+        Plans are deterministic and memoised — repeated stitching of the same
+        segment pairs (common across a test set) hits the cache.
+        """
+        key = (from_edge, to_edge)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return list(cached)
+        route = self._plan_uncached(from_edge, to_edge)
+        self._cache[key] = tuple(route)
+        return route
+
+    def travel_distance(self, from_edge: int, to_edge: int) -> float:
+        """Travel distance from the exit of ``from_edge`` to the exit of
+        ``to_edge`` along the planned route (0 when identical)."""
+        route = self.plan(from_edge, to_edge)
+        return sum(self.network.segment_length(e) for e in route[1:])
+
+    def _plan_uncached(self, from_edge: int, to_edge: int) -> List[int]:
+        if from_edge == to_edge:
+            return [from_edge]
+        route = self._edge_dijkstra(from_edge, to_edge)
+        if route is not None:
+            return route
+        self.fallbacks += 1
+        exact = route_between_segments(self.network, from_edge, to_edge)
+        if exact is None:
+            # Strongly connected networks always have some route; if the
+            # caller handed us a degenerate pair, return the trivial hop.
+            return [from_edge, to_edge]
+        return exact
+
+    # ------------------------------------------------------------------ impl
+
+    def _transition_cost(self, from_edge: int, to_edge: int) -> float:
+        key = (from_edge, to_edge)
+        cached = self._cost_cache.get(key)
+        if cached is not None:
+            return cached
+        cost = self.network.segment_length(to_edge)
+        if self.statistics is not None and self.tau > 0:
+            prob = max(self.statistics.probability(from_edge, to_edge), 1e-9)
+            cost -= self.tau * math.log(prob)
+        cost = max(cost, 1e-6)
+        self._cost_cache[key] = cost
+        return cost
+
+    def _edge_dijkstra(self, from_edge: int, to_edge: int) -> Optional[List[int]]:
+        import heapq
+
+        dist = {from_edge: 0.0}
+        parent: dict = {}
+        heap: List[Tuple[float, int]] = [(0.0, from_edge)]
+        settled = set()
+        while heap and len(settled) < self.max_route_length:
+            d, edge = heapq.heappop(heap)
+            if edge in settled:
+                continue
+            settled.add(edge)
+            if edge == to_edge:
+                route = [to_edge]
+                while route[-1] != from_edge:
+                    route.append(parent[route[-1]])
+                route.reverse()
+                return route
+            for succ in self.network.successors(edge):
+                nd = d + self._transition_cost(edge, succ)
+                if nd < dist.get(succ, math.inf):
+                    dist[succ] = nd
+                    parent[succ] = edge
+                    heapq.heappush(heap, (nd, succ))
+        return None

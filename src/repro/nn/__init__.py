@@ -1,0 +1,52 @@
+"""``repro.nn`` — a from-scratch NumPy autograd neural-network substrate.
+
+Provides exactly the operators the paper's models need: tensors with
+reverse-mode autodiff, linear/embedding/normalisation layers, multi-head
+attention and transformer encoders (Eq. 3-6), GRUs (the TRMMA decoder), the
+BCE/MAE losses (Eq. 10, 19-20), and SGD/Adam optimisers.
+"""
+
+from .attention import MultiHeadAttention, scaled_dot_product_attention
+from .layers import MLP, Dropout, Embedding, LayerNorm, Linear, Sequential
+from .loss import (
+    bce_with_logits,
+    bce_with_logits_sum,
+    cross_entropy,
+    cross_entropy_sequence,
+    mae_loss,
+)
+from .module import Module, ModuleList
+from .optim import SGD, Adam, Optimizer
+from .rnn import GRU, BiGRU, GRUCell
+from .tensor import (
+    Tensor,
+    concat,
+    gradcheck,
+    log_softmax,
+    ones,
+    softmax,
+    softplus,
+    stack,
+    tensor,
+    zeros,
+)
+from .transformer import (
+    FeedForward,
+    TransformerEncoder,
+    TransformerEncoderLayer,
+    sinusoidal_positions,
+)
+
+__all__ = [
+    "Tensor", "tensor", "zeros", "ones", "concat", "stack", "softmax",
+    "log_softmax", "softplus", "gradcheck",
+    "Module", "ModuleList",
+    "Linear", "Embedding", "LayerNorm", "Dropout", "MLP", "Sequential",
+    "MultiHeadAttention", "scaled_dot_product_attention",
+    "TransformerEncoder", "TransformerEncoderLayer", "FeedForward",
+    "sinusoidal_positions",
+    "GRU", "GRUCell", "BiGRU",
+    "bce_with_logits", "bce_with_logits_sum", "mae_loss", "cross_entropy",
+    "cross_entropy_sequence",
+    "Optimizer", "SGD", "Adam",
+]

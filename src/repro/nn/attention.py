@@ -1,0 +1,67 @@
+"""Scaled dot-product and multi-head attention (Eq. 4).
+
+Sequences are 2-D tensors of shape ``(seq_len, dim)`` — the library trains
+trajectory-by-trajectory, so there is no padding/batching machinery to get
+wrong.  Multi-head attention reshapes to ``(heads, seq, head_dim)`` and uses
+the batched matmul of the autograd engine.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..utils.rng import SeedLike, make_rng
+from .layers import Linear
+from .module import Module
+from .tensor import Tensor, softmax
+
+
+def scaled_dot_product_attention(
+    q: Tensor, k: Tensor, v: Tensor, mask: Optional[np.ndarray] = None
+) -> Tensor:
+    """``softmax(Q K^T / sqrt(d)) V`` over the last two axes.
+
+    ``mask`` (if given) is an additive bias broadcastable to the score
+    matrix; use ``-inf`` (large negative) entries to forbid attention.
+    """
+    d = q.shape[-1]
+    scores = q.matmul(k.T) * (1.0 / math.sqrt(d))
+    if mask is not None:
+        scores = scores + Tensor(mask)
+    return softmax(scores, axis=-1).matmul(v)
+
+
+class MultiHeadAttention(Module):
+    """Multi-head attention with separate Q/K/V/output projections."""
+
+    def __init__(self, dim: int, n_heads: int, seed: SeedLike = None) -> None:
+        super().__init__()
+        if dim % n_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by n_heads {n_heads}")
+        rng = make_rng(seed)
+        self.dim = dim
+        self.n_heads = n_heads
+        self.head_dim = dim // n_heads
+        self.w_q = Linear(dim, dim, seed=rng)
+        self.w_k = Linear(dim, dim, seed=rng)
+        self.w_v = Linear(dim, dim, seed=rng)
+        self.w_o = Linear(dim, dim, seed=rng)
+
+    def _split_heads(self, x: Tensor, seq_len: int) -> Tensor:
+        # (seq, dim) -> (heads, seq, head_dim)
+        return x.reshape(seq_len, self.n_heads, self.head_dim).swapaxes(0, 1)
+
+    def forward(
+        self, query: Tensor, key: Tensor, value: Tensor,
+        mask: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        q_len, k_len = query.shape[0], key.shape[0]
+        q = self._split_heads(self.w_q(query), q_len)
+        k = self._split_heads(self.w_k(key), k_len)
+        v = self._split_heads(self.w_v(value), k_len)
+        attended = scaled_dot_product_attention(q, k, v, mask=mask)
+        merged = attended.swapaxes(0, 1).reshape(q_len, self.dim)
+        return self.w_o(merged)

@@ -1,0 +1,147 @@
+"""Core neural layers: Linear, Embedding, LayerNorm, Dropout, MLP."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..utils.rng import SeedLike, make_rng
+from .module import Module, ModuleList
+from .tensor import Tensor
+
+
+def xavier_uniform(
+    shape: Sequence[int], rng: np.random.Generator
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    fan_in, fan_out = shape[0], shape[-1]
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=tuple(shape))
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b`` (weights stored input-major, as in Eq. 1-2)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        rng = make_rng(seed)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Tensor(
+            xavier_uniform((in_features, out_features), rng), requires_grad=True
+        )
+        self.bias = (
+            Tensor(np.zeros(out_features), requires_grad=True) if bias else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x.matmul(self.weight)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Lookup table: one dense row per discrete id.
+
+    Equivalent to multiplying a one-hot vector with the weight matrix
+    (Eq. 1 / Eq. 12) but implemented as a gather with scatter-add backward.
+    ``from_pretrained`` initialises the table with externally learned vectors
+    (e.g. Node2Vec ``W_G``) while keeping it trainable.
+    """
+
+    def __init__(
+        self, num_embeddings: int, dim: int, seed: SeedLike = None
+    ) -> None:
+        super().__init__()
+        rng = make_rng(seed)
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        scale = 1.0 / math.sqrt(max(dim, 1))
+        self.weight = Tensor(
+            rng.normal(0.0, scale, size=(num_embeddings, dim)), requires_grad=True
+        )
+
+    @classmethod
+    def from_pretrained(cls, weights: np.ndarray) -> "Embedding":
+        emb = cls(weights.shape[0], weights.shape[1])
+        emb.weight.data = np.asarray(weights, dtype=np.float64).copy()
+        return emb
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        return self.weight.take_rows(np.asarray(indices, dtype=np.int64))
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last axis with learned scale/shift."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Tensor(np.ones(dim), requires_grad=True)
+        self.beta = Tensor(np.zeros(dim), requires_grad=True)
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered * (var + self.eps).pow(-0.5)
+        return normed * self.gamma + self.beta
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, p: float = 0.1, seed: SeedLike = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self._rng = make_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        mask = (self._rng.random(x.shape) >= self.p) / (1.0 - self.p)
+        return x * Tensor(mask)
+
+
+class MLP(Module):
+    """Two-layer perceptron ``ReLU(x W1 + b1) W2 + b2`` (Eq. 2/7/15/18)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: int,
+        out_features: int,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        rng = make_rng(seed)
+        self.fc1 = Linear(in_features, hidden, seed=rng)
+        self.fc2 = Linear(hidden, out_features, seed=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc2(self.fc1(x).relu())
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self.steps = ModuleList(list(modules))
+
+    def forward(self, x: Tensor) -> Tensor:
+        for step in self.steps:
+            x = step(x)
+        return x

@@ -1,0 +1,52 @@
+"""Loss functions used by the models.
+
+* binary cross-entropy over logits (MMA's Eq. 10, TRMMA's Eq. 19) — computed
+  from logits with the softplus identity for numerical stability,
+* mean absolute error (TRMMA's ratio regression, Eq. 20),
+* categorical cross-entropy (baselines that decode over all |E| segments).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, log_softmax, softplus
+
+
+def bce_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean binary cross-entropy of ``sigmoid(logits)`` against 0/1 targets.
+
+    Uses ``BCE(x, y) = softplus(x) - x * y`` which is exact and stable for
+    large-magnitude logits.
+    """
+    y = Tensor(np.asarray(targets, dtype=np.float64))
+    per_element = softplus(logits) - logits * y
+    return per_element.mean()
+
+
+def bce_with_logits_sum(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Summed (not averaged) BCE — the form in Eq. 10/19, summed over
+    candidates; callers normalise per trajectory/dataset."""
+    y = Tensor(np.asarray(targets, dtype=np.float64))
+    per_element = softplus(logits) - logits * y
+    return per_element.sum()
+
+
+def mae_loss(predictions: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean absolute error (Eq. 20)."""
+    t = Tensor(np.asarray(targets, dtype=np.float64))
+    return (predictions - t).abs().mean()
+
+
+def cross_entropy(logits: Tensor, target_index: int) -> Tensor:
+    """Categorical cross-entropy of one distribution against a class index."""
+    logp = log_softmax(logits, axis=-1)
+    return -logp[target_index]
+
+
+def cross_entropy_sequence(logits: Tensor, target_indices: np.ndarray) -> Tensor:
+    """Mean categorical cross-entropy over a ``(seq, classes)`` logit matrix."""
+    logp = log_softmax(logits, axis=-1)
+    idx = np.asarray(target_indices, dtype=np.int64)
+    rows = np.arange(len(idx))
+    return -(logp[rows, idx].mean())

@@ -1,0 +1,121 @@
+"""Module tree: parameter registration, traversal, and (de)serialisation."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+class Module:
+    """Base class for neural network components.
+
+    Parameters are :class:`Tensor` attributes with ``requires_grad=True``;
+    submodules are ``Module`` attributes (or items of :class:`ModuleList`).
+    Registration is by attribute discovery, mirroring the PyTorch idiom.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # ------------------------------------------------------------- traversal
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Tensor]]:
+        for name, value in vars(self).items():
+            full = f"{prefix}{name}"
+            if isinstance(value, Tensor) and value.requires_grad:
+                yield full, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{full}.")
+            elif isinstance(value, ModuleList):
+                for i, sub in enumerate(value):
+                    yield from sub.named_parameters(prefix=f"{full}.{i}.")
+
+    def parameters(self) -> List[Tensor]:
+        return [p for _, p in self.named_parameters()]
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, ModuleList):
+                for sub in value:
+                    yield from sub.modules()
+
+    # ------------------------------------------------------------- mechanics
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.grad = None
+
+    def train(self) -> "Module":
+        for m in self.modules():
+            m.training = True
+        return self
+
+    def eval(self) -> "Module":
+        if not self.training:
+            return self  # already in eval mode; skip the tree walk
+        for m in self.modules():
+            m.training = False
+        return self
+
+    def n_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # --------------------------------------------------------- serialisation
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def save(self, path: str) -> None:
+        """Persist all parameters to an ``.npz`` file."""
+        np.savez(path, **self.state_dict())
+
+    def load(self, path: str) -> None:
+        """Load parameters previously stored with :meth:`save`."""
+        with np.load(path) as archive:
+            self.load_state_dict({name: archive[name] for name in archive.files})
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        extra = set(state) - set(own)
+        if missing or extra:
+            raise KeyError(f"state mismatch: missing={sorted(missing)}, extra={sorted(extra)}")
+        for name, p in own.items():
+            if p.data.shape != state[name].shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: {p.data.shape} vs {state[name].shape}"
+                )
+            p.data = state[name].copy()
+
+    # ----------------------------------------------------------------- sugar
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class ModuleList:
+    """A list of submodules that participates in parameter discovery."""
+
+    def __init__(self, modules: List[Module] = None) -> None:
+        self._modules: List[Module] = list(modules or [])
+
+    def append(self, module: Module) -> None:
+        self._modules.append(module)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules)
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._modules[index]

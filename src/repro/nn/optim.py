@@ -1,0 +1,101 @@
+"""Optimisers: SGD with momentum and Adam (the paper trains with lr=1e-3)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+class Optimizer:
+    """Base optimiser over a fixed parameter list."""
+
+    def __init__(self, parameters: List[Tensor], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.parameters = list(parameters)
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.grad = None
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def clip_grad_norm(self, max_norm: float) -> float:
+        """Global-norm gradient clipping; returns the pre-clip norm."""
+        total = 0.0
+        for p in self.parameters:
+            if p.grad is not None:
+                total += float((p.grad**2).sum())
+        norm = total**0.5
+        if norm > max_norm and norm > 0:
+            scale = max_norm / norm
+            for p in self.parameters:
+                if p.grad is not None:
+                    p.grad *= scale
+        return norm
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self, parameters: List[Tensor], lr: float = 0.01, momentum: float = 0.0
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for p in self.parameters:
+            if p.grad is None:
+                continue
+            update = p.grad
+            if self.momentum > 0:
+                v = self._velocity.get(id(p))
+                v = self.momentum * v + update if v is not None else update.copy()
+                self._velocity[id(p)] = v
+                update = v
+            p.data -= self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        parameters: List[Tensor],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        for p in self.parameters:
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay > 0:
+                grad = grad + self.weight_decay * p.data
+            m = self._m.get(id(p))
+            v = self._v.get(id(p))
+            m = b1 * m + (1 - b1) * grad if m is not None else (1 - b1) * grad
+            v = b2 * v + (1 - b2) * grad**2 if v is not None else (1 - b2) * grad**2
+            self._m[id(p)], self._v[id(p)] = m, v
+            m_hat = m / (1 - b1**self._t)
+            v_hat = v / (1 - b2**self._t)
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,99 @@
+"""Transformer encoder (Eq. 3-6) with sinusoidal positional encoding."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..utils.rng import SeedLike, make_rng
+from .attention import MultiHeadAttention
+from .layers import Dropout, LayerNorm, Linear
+from .module import Module, ModuleList
+from .tensor import Tensor
+
+
+def sinusoidal_positions(seq_len: int, dim: int) -> np.ndarray:
+    """Classic fixed sinusoidal positional encoding, shape (seq_len, dim)."""
+    positions = np.arange(seq_len)[:, None].astype(np.float64)
+    half = (dim + 1) // 2
+    freqs = np.exp(-math.log(10000.0) * np.arange(half) / max(half, 1))
+    angles = positions * freqs[None, :]
+    encoding = np.zeros((seq_len, dim))
+    encoding[:, 0::2] = np.sin(angles)[:, : encoding[:, 0::2].shape[1]]
+    encoding[:, 1::2] = np.cos(angles)[:, : encoding[:, 1::2].shape[1]]
+    return encoding
+
+
+class FeedForward(Module):
+    """Position-wise FFN: ``ReLU(x Wx + bx) Wy + by`` (Eq. 5)."""
+
+    def __init__(self, dim: int, hidden: int, seed: SeedLike = None) -> None:
+        super().__init__()
+        rng = make_rng(seed)
+        self.fc1 = Linear(dim, hidden, seed=rng)
+        self.fc2 = Linear(hidden, dim, seed=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc2(self.fc1(x).relu())
+
+
+class TransformerEncoderLayer(Module):
+    """Post-norm transformer layer (Eq. 6): MHA + FFN with residuals."""
+
+    def __init__(
+        self,
+        dim: int,
+        n_heads: int,
+        ffn_hidden: int,
+        dropout: float = 0.0,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        rng = make_rng(seed)
+        self.attention = MultiHeadAttention(dim, n_heads, seed=rng)
+        self.ffn = FeedForward(dim, ffn_hidden, seed=rng)
+        self.norm1 = LayerNorm(dim)
+        self.norm2 = LayerNorm(dim)
+        self.dropout = Dropout(dropout, seed=rng)
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        attended = self.norm1(x + self.dropout(self.attention(x, x, x, mask=mask)))
+        return self.norm2(attended + self.dropout(self.ffn(attended)))
+
+
+class TransformerEncoder(Module):
+    """Stack of encoder layers over a ``(seq_len, dim)`` sequence.
+
+    Adds sinusoidal positional encodings before the first layer (the order
+    of GPS points / route segments matters to both MMA and TRMMA).
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        n_layers: int = 2,
+        n_heads: int = 4,
+        ffn_hidden: int = 512,
+        dropout: float = 0.0,
+        use_positional: bool = True,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        rng = make_rng(seed)
+        self.dim = dim
+        self.use_positional = use_positional
+        self.layers = ModuleList(
+            [
+                TransformerEncoderLayer(dim, n_heads, ffn_hidden, dropout, seed=rng)
+                for _ in range(n_layers)
+            ]
+        )
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        if self.use_positional:
+            x = x + Tensor(sinusoidal_positions(x.shape[0], self.dim))
+        for layer in self.layers:
+            x = layer(x, mask=mask)
+        return x

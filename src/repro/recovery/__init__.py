@@ -1,0 +1,22 @@
+"""Trajectory-recovery methods: TRMMA and the baselines of Table III."""
+
+from .base import TrajectoryRecoverer, missing_point_counts
+from .dhtr import DHTRRecoverer, kalman_smooth
+from .linear_interp import LinearInterpolationRecoverer
+from .mmstged import MMSTGEDRecoverer
+from .mtrajrec import MTrajRecRecoverer
+from .rntrajrec import RNTrajRecRecoverer
+from .seq2seq import GlobalSegmentDecoder, Seq2SeqRecoverer
+from .teri import TERIRecoverer
+from .trajrep import ST2VecRecoverer, TrajCLRecoverer, TrajGATRecoverer
+from .trmma import TRMMARecoverer, make_trmma
+
+__all__ = [
+    "TrajectoryRecoverer", "missing_point_counts",
+    "LinearInterpolationRecoverer",
+    "Seq2SeqRecoverer", "GlobalSegmentDecoder",
+    "MTrajRecRecoverer", "RNTrajRecRecoverer", "MMSTGEDRecoverer",
+    "DHTRRecoverer", "kalman_smooth", "TERIRecoverer",
+    "TrajGATRecoverer", "TrajCLRecoverer", "ST2VecRecoverer",
+    "TRMMARecoverer", "make_trmma",
+]

@@ -1,0 +1,97 @@
+"""Trajectory-recovery interface (Definition 7).
+
+A recoverer consumes a sparse trajectory ``T`` and a target sampling rate ε
+and produces the map-matched ε-sampling trajectory ``T_eps``: the original
+points map-matched, plus inferred missing points, all as (segment, ratio,
+time) triples.
+
+Timestamps follow Algorithm 2: between consecutive observed points at gap
+``Δt`` the recoverer inserts ``round(Δt / ε) - 1`` interior points at ε
+spacing, so when the sparse trajectory was sampled from an ε-grid (our
+simulator's ground truth) the recovered sequence aligns index-for-index with
+the ground-truth dense trajectory.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..data.trajectory import (
+    MapMatchedPoint,
+    MatchedTrajectory,
+    Trajectory,
+)
+from ..network.road_network import RoadNetwork
+from ..nn import Module
+
+
+def missing_point_counts(trajectory: Trajectory, epsilon: float) -> List[int]:
+    """Number of interior points to insert in each consecutive gap."""
+    counts = []
+    for a, b in zip(trajectory.points, trajectory.points[1:]):
+        gap = b.t - a.t
+        counts.append(max(int(round(gap / epsilon)) - 1, 0))
+    return counts
+
+
+class TrajectoryRecoverer:
+    """Abstract base class of all trajectory-recovery methods."""
+
+    name: str = "base"
+    requires_training: bool = False
+
+    def __init__(self, network: RoadNetwork) -> None:
+        self.network = network
+
+    def fit(self, dataset) -> "TrajectoryRecoverer":
+        """Train on ``dataset`` (no-op for heuristics)."""
+        return self
+
+    def fit_epoch(self, dataset) -> float:
+        """One training epoch; returns the epoch loss (0 if untrained)."""
+        return 0.0
+
+    def recover(self, trajectory: Trajectory, epsilon: float) -> MatchedTrajectory:
+        """Recover the map-matched ε-sampling trajectory of ``trajectory``."""
+        raise NotImplementedError
+
+    # ------------------------------------------------- validation / snapshot
+
+    def _trainable_modules(self) -> List[Module]:
+        """The neural modules whose parameters training updates."""
+        return [v for v in vars(self).values() if isinstance(v, Module)]
+
+    def snapshot(self) -> List[dict]:
+        """Copy of all trainable parameters (for best-epoch selection)."""
+        return [m.state_dict() for m in self._trainable_modules()]
+
+    def restore(self, snapshot: List[dict]) -> None:
+        """Restore parameters captured by :meth:`snapshot`."""
+        modules = self._trainable_modules()
+        if len(modules) != len(snapshot):
+            raise ValueError("snapshot does not match this recoverer's modules")
+        for module, state in zip(modules, snapshot):
+            module.load_state_dict(state)
+
+    def validation_loss(self, dataset) -> Optional[float]:
+        """Mean training-objective value on the validation split, or None
+        when the method exposes no loss (heuristics)."""
+        return None
+
+    # ------------------------------------------------------------- utilities
+
+    @staticmethod
+    def interleave(
+        observed: List[MapMatchedPoint],
+        inserted: List[List[MapMatchedPoint]],
+    ) -> MatchedTrajectory:
+        """Weave observed points and per-gap inserted points into one
+        ε-sampling trajectory (Algorithm 2 lines 7-16)."""
+        if len(inserted) != max(len(observed) - 1, 0):
+            raise ValueError("need one inserted list per consecutive gap")
+        points: List[MapMatchedPoint] = []
+        for i, obs in enumerate(observed):
+            points.append(obs)
+            if i < len(inserted):
+                points.extend(inserted[i])
+        return MatchedTrajectory(points)

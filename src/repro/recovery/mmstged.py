@@ -1,0 +1,94 @@
+"""MM-STGED (Wei et al., TKDE 2024): micro-macro spatial-temporal
+graph-based encoder-decoder for map-constrained recovery.
+
+* **micro** view: each GPS point's fine-grained spatial relation to the road
+  network — distances and bearing statistics of its nearby segments;
+* **macro** view: city-level traffic transition patterns — historical
+  segment-transition frequencies aggregated over the nearby segments.
+
+Both views are fused with the point features by an FC layer and a GRU
+encodes the sequence; decoding is the shared all-segment multitask decoder.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..data.trajectory import Trajectory
+from ..network.road_network import RoadNetwork
+from ..network.routing import TransitionStatistics
+from ..nn import GRU, Embedding, Linear, Module, Tensor, concat, stack
+from ..utils.rng import SeedLike
+from .seq2seq import Seq2SeqRecoverer
+
+
+class MMSTGEDRecoverer(Seq2SeqRecoverer):
+    """Micro/macro graph features + GRU encoder + global decoder."""
+
+    name = "MM-STGED"
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        d_h: int = 32,
+        k_near: int = 6,
+        statistics: Optional[TransitionStatistics] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(network, d_h=d_h, seed=seed)
+        self.k_near = k_near
+        self.statistics = statistics
+        self.segment_embedding = Embedding(network.n_segments, d_h, seed=self._rng)
+        # 3 point features + 3 micro stats + d_h macro context.
+        self.input_fc = Linear(6 + d_h, d_h, seed=self._rng)
+        self.encoder_gru = GRU(d_h, d_h, seed=self._rng)
+
+    def fit(self, dataset, epochs: int = 5) -> "MMSTGEDRecoverer":
+        if self.statistics is None:
+            self.statistics = dataset.transition_statistics()
+        return super().fit(dataset, epochs=epochs)
+
+    # ------------------------------------------------------------- encoding
+
+    def _views(self, trajectory: Trajectory) -> Tuple[np.ndarray, Tensor]:
+        """(micro statistics (l, 3), macro context (l, d_h))."""
+        micro_rows = []
+        macro_rows = []
+        for p in trajectory:
+            hits = self.network.nearest_segments(p.x, p.y, k=self.k_near)
+            dists = np.asarray([d for _, d in hits])
+            micro_rows.append(
+                [dists.min() / 20.0, dists.mean() / 20.0, dists.std() / 20.0]
+            )
+            edges = [e for e, _ in hits]
+            if self.statistics is not None:
+                weights = np.asarray(
+                    [
+                        sum(
+                            self.statistics.probability(e, s)
+                            for s in self.network.successors(e)
+                        )
+                        + 1e-3
+                        for e in edges
+                    ]
+                )
+            else:
+                weights = np.ones(len(edges))
+            weights = weights / weights.sum()
+            emb = self.segment_embedding(np.asarray(edges))
+            macro_rows.append((emb * Tensor(weights[:, None])).sum(axis=0))
+        return np.asarray(micro_rows), stack(macro_rows, axis=0)
+
+    def encode(self, trajectory: Trajectory) -> Tuple[Tensor, Tensor]:
+        feats = self.point_features(trajectory)
+        micro, macro = self._views(trajectory)
+        fused = self.input_fc(
+            concat([Tensor(np.concatenate([feats, micro], axis=1)), macro], axis=-1)
+        )
+        outputs, final = self.encoder_gru(fused)
+        return outputs, final.reshape(1, self.d_h)
+
+    def encoder_modules(self) -> List[Module]:
+        return [self.segment_embedding, self.input_fc, self.encoder_gru]

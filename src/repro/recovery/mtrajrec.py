@@ -1,0 +1,41 @@
+"""MTrajRec (Ren et al., KDD 2021): seq2seq multitask recovery.
+
+The original map-constrained recovery method: a GRU encoder reads the sparse
+GPS sequence; the decoder (shared :class:`GlobalSegmentDecoder`) predicts
+each missing point's segment over all |E| segments (with road-network
+constraint masking) and regresses its position ratio — multi-task learning
+with a shared hidden state.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..data.trajectory import Trajectory
+from ..network.road_network import RoadNetwork
+from ..nn import GRU, Module, Tensor
+from ..utils.rng import SeedLike
+from .seq2seq import Seq2SeqRecoverer
+
+
+class MTrajRecRecoverer(Seq2SeqRecoverer):
+    """GRU encoder + all-segment multitask decoder."""
+
+    name = "MTrajRec"
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        d_h: int = 32,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(network, d_h=d_h, seed=seed)
+        self.encoder_gru = GRU(3, d_h, seed=self._rng)
+
+    def encode(self, trajectory: Trajectory) -> Tuple[Tensor, Tensor]:
+        feats = Tensor(self.point_features(trajectory))
+        outputs, final = self.encoder_gru(feats)
+        return outputs, final.reshape(1, self.d_h)
+
+    def encoder_modules(self) -> List[Module]:
+        return [self.encoder_gru]

@@ -1,0 +1,90 @@
+"""Positioning map-matched points along routes.
+
+Recovery methods frequently need to treat a route as a one-dimensional
+curve: locate a matched point's linear offset along the route, or convert a
+linear offset back to a (segment, ratio) pair.  Both operations respect the
+route's segment *order* — a segment can appear once only, but matched points
+must be located monotonically, so lookups take a ``start_index`` hint.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..network.road_network import RoadNetwork
+
+
+def route_cumulative_lengths(
+    network: RoadNetwork, route: Sequence[int]
+) -> np.ndarray:
+    """Cumulative length before each route segment; shape (len(route) + 1,).
+
+    ``cum[i]`` is the travel distance from the route start to the entrance
+    of segment ``route[i]``; ``cum[-1]`` is the total route length.
+    """
+    lengths = [network.segment_length(e) for e in route]
+    return np.concatenate([[0.0], np.cumsum(lengths)])
+
+
+def locate_on_route(
+    network: RoadNetwork,
+    route: Sequence[int],
+    cum: np.ndarray,
+    edge_id: int,
+    ratio: float,
+    start_index: int = 0,
+) -> Optional[Tuple[int, float]]:
+    """(route index, linear offset) of point (edge_id, ratio) on the route.
+
+    Searches from ``start_index`` onward so repeated traversal over matched
+    points stays monotone.  Returns None when the segment does not occur at
+    or after ``start_index``.
+    """
+    for idx in range(start_index, len(route)):
+        if route[idx] == edge_id:
+            offset = float(cum[idx]) + ratio * network.segment_length(edge_id)
+            return idx, offset
+    return None
+
+
+def point_at_route_offset(
+    network: RoadNetwork,
+    route: Sequence[int],
+    cum: np.ndarray,
+    offset: float,
+) -> Tuple[int, float]:
+    """(edge_id, ratio) at linear ``offset`` metres along the route."""
+    total = float(cum[-1])
+    offset = min(max(offset, 0.0), max(total - 1e-9, 0.0))
+    idx = int(np.searchsorted(cum, offset, side="right") - 1)
+    idx = min(max(idx, 0), len(route) - 1)
+    length = network.segment_length(route[idx])
+    ratio = (offset - float(cum[idx])) / max(length, 1e-9)
+    return route[idx], min(max(ratio, 0.0), math.nextafter(1.0, 0.0))
+
+
+def route_index_of_segments(
+    route: Sequence[int], segments: Sequence[int]
+) -> List[int]:
+    """Monotone route indices of a segment sequence along the route.
+
+    Each lookup starts at the previous result, mirroring the sub-route
+    restriction of Eq. 17.  Segments absent from the remaining route reuse
+    the previous index (robustness against imperfect matchers).
+    """
+    indices: List[int] = []
+    cursor = 0
+    for seg in segments:
+        found = None
+        for idx in range(cursor, len(route)):
+            if route[idx] == seg:
+                found = idx
+                break
+        if found is None:
+            found = indices[-1] if indices else 0
+        indices.append(found)
+        cursor = found
+    return indices

@@ -1,0 +1,13 @@
+"""TRMMA — the paper's trajectory-recovery method (Section V)."""
+
+from .ablations import ABLATION_VARIANTS, make_trmma
+from .decoder import RecoveryDecoder
+from .encoder import DualFormerEncoder, build_point_features
+from .model import RecoveryExample, TRMMAModel, build_example
+from .recoverer import TRMMARecoverer
+
+__all__ = [
+    "DualFormerEncoder", "build_point_features", "RecoveryDecoder",
+    "TRMMAModel", "RecoveryExample", "build_example", "TRMMARecoverer",
+    "make_trmma", "ABLATION_VARIANTS",
+]

@@ -1,0 +1,120 @@
+"""Factories for TRMMA and its Table IV ablation variants.
+
+| Variant        | Change                                                      |
+|----------------|-------------------------------------------------------------|
+| TRMMA          | full method (MMA matcher + DualFormer + decoder)            |
+| TRMMA-HMM      | MMA replaced by the HMM matcher of [28] (FMM)               |
+| TRMMA-Near     | MMA replaced by nearest-segment matching                    |
+| MMA+linear     | MMA route + linear interpolation (no learned decoder)       |
+| Nearest+linear | nearest matching + linear interpolation                     |
+| TRMMA-DF       | DualFormer fusion removed (H = R)                           |
+| TRMMA-C        | MMA without candidate context in the point embedding        |
+| TRMMA-DI       | MMA without the directional cosine features                 |
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...matching import (
+    FMMMatcher,
+    MMAMatcher,
+    NearestMatcher,
+    attach_planner_statistics,
+)
+from ...network.node2vec import Node2VecConfig
+from ...network.road_network import RoadNetwork
+from ...network.routing import TransitionStatistics
+from ...utils.rng import SeedLike
+from ..linear_interp import LinearInterpolationRecoverer
+from .recoverer import TRMMARecoverer
+
+#: Cheap Node2Vec settings used across experiment-scale model builds.
+FAST_NODE2VEC = Node2VecConfig(
+    dimensions=32, walk_length=12, walks_per_node=2, window=3, negatives=3, epochs=1
+)
+
+
+def _mma(
+    network: RoadNetwork,
+    statistics: Optional[TransitionStatistics],
+    seed: SeedLike,
+    use_context: bool = True,
+    use_directional: bool = True,
+    d0: int = 32,
+    d2: int = 32,
+) -> MMAMatcher:
+    matcher = MMAMatcher(
+        network,
+        d0=d0,
+        d2=d2,
+        node2vec_config=FAST_NODE2VEC,
+        use_context=use_context,
+        use_directional=use_directional,
+        seed=seed,
+    )
+    if statistics is not None:
+        attach_planner_statistics(matcher, statistics)
+    return matcher
+
+
+def make_trmma(
+    network: RoadNetwork,
+    statistics: Optional[TransitionStatistics] = None,
+    variant: str = "TRMMA",
+    d_h: int = 32,
+    n_layers: int = 2,
+    ffn_hidden: int = 128,
+    seed: SeedLike = 7,
+):
+    """Build TRMMA or one of its ablations by variant name."""
+    if variant == "TRMMA":
+        matcher = _mma(network, statistics, seed)
+        return TRMMARecoverer(network, matcher, d_h=d_h, n_layers=n_layers,
+                              ffn_hidden=ffn_hidden, seed=seed, name="TRMMA")
+    if variant == "TRMMA-HMM":
+        matcher = FMMMatcher(network)
+        if statistics is not None:
+            attach_planner_statistics(matcher, statistics)
+        return TRMMARecoverer(network, matcher, d_h=d_h, n_layers=n_layers,
+                              ffn_hidden=ffn_hidden, seed=seed, name="TRMMA-HMM")
+    if variant == "TRMMA-Near":
+        matcher = NearestMatcher(network)
+        if statistics is not None:
+            attach_planner_statistics(matcher, statistics)
+        return TRMMARecoverer(network, matcher, d_h=d_h, n_layers=n_layers,
+                              ffn_hidden=ffn_hidden, seed=seed, name="TRMMA-Near")
+    if variant == "TRMMA-DF":
+        matcher = _mma(network, statistics, seed)
+        return TRMMARecoverer(network, matcher, d_h=d_h, n_layers=n_layers,
+                              ffn_hidden=ffn_hidden, use_fusion=False, seed=seed,
+                              name="TRMMA-DF")
+    if variant == "TRMMA-C":
+        matcher = _mma(network, statistics, seed, use_context=False)
+        return TRMMARecoverer(network, matcher, d_h=d_h, n_layers=n_layers,
+                              ffn_hidden=ffn_hidden, seed=seed, name="TRMMA-C")
+    if variant == "TRMMA-DI":
+        matcher = _mma(network, statistics, seed, use_directional=False)
+        return TRMMARecoverer(network, matcher, d_h=d_h, n_layers=n_layers,
+                              ffn_hidden=ffn_hidden, seed=seed, name="TRMMA-DI")
+    if variant == "MMA+linear":
+        matcher = _mma(network, statistics, seed)
+        return LinearInterpolationRecoverer(network, matcher, name="MMA+linear")
+    if variant == "Nearest+linear":
+        matcher = NearestMatcher(network)
+        if statistics is not None:
+            attach_planner_statistics(matcher, statistics)
+        return LinearInterpolationRecoverer(network, matcher, name="Nearest+linear")
+    raise KeyError(f"unknown TRMMA variant {variant!r}")
+
+
+ABLATION_VARIANTS = (
+    "TRMMA",
+    "TRMMA-HMM",
+    "TRMMA-Near",
+    "MMA+linear",
+    "Nearest+linear",
+    "TRMMA-DF",
+    "TRMMA-C",
+    "TRMMA-DI",
+)

@@ -1,0 +1,141 @@
+"""TRMMA multitask decoder (Eq. 15-18, Fig. 4 right).
+
+A GRU tracks the decoding state ``h_j``.  For each point to emit:
+
+* **segment classification** (Eq. 15-16): a two-layer MLP scores every route
+  segment embedding ``H[k]`` against ``h_j``; sigmoid gives the binary
+  probability ``P(e_k | a_j)``.  Prediction restricts the argmax to the
+  sub-route from the previously emitted segment onward (Eq. 17).
+* **ratio regression** (Eq. 18): softmax over the same scores produces an
+  attention readout ``psi_j H``; an MLP with sigmoid head outputs the
+  position ratio.
+
+The emitted (segment embedding, ratio, time) triple feeds the GRU to
+produce ``h_{j+1}``.
+
+Scale adaptation (documented in EXPERIMENTS.md): both heads additionally
+receive a *positional prior* — the signed offset of each route segment from
+the missing point's constant-speed interpolated position, and the
+interpolated local ratio.  The paper's decoder learns this travel-progress
+geometry from millions of trajectories; at repo scale the prior supplies it
+directly while the network learns the residual (dwell at signals, speed
+variation).  Pass ``use_prior=False`` for the strictly faithful variant.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ...nn import MLP, GRUCell, Module, Tensor, concat, softmax
+from ...utils.rng import SeedLike, make_rng
+
+
+class RecoveryDecoder(Module):
+    """Sequential decoder over the route segments of ``H``."""
+
+    #: Bound on the learned correction to the prior ratio (keeps an
+    #: undertrained head from doing worse than the prior it refines).
+    MAX_RATIO_CORRECTION = 0.15
+
+    def __init__(
+        self, d_h: int = 64, use_prior: bool = True, seed: SeedLike = None
+    ) -> None:
+        super().__init__()
+        rng = make_rng(seed)
+        self.d_h = d_h
+        self.use_prior = use_prior
+        # Prior basis per segment: signed offset, absolute offset, and a
+        # Gaussian bump peaking at the expected position — the bump makes
+        # "prefer the segment nearest the expected travel distance"
+        # linearly learnable.
+        self.n_prior = 3 if use_prior else 0
+        extra = 1 if use_prior else 0
+        # GRU input: the emitted point's route-segment embedding, its ratio,
+        # and its normalised timestamp (time lets the state model dwell).
+        self.gru = GRUCell(d_h + 2, d_h, seed=rng)
+        # Eq. 15: w_kj = MLP([H[k] | h_j] (+ positional prior basis)).
+        self.classifier = MLP(2 * d_h + self.n_prior, d_h, 1, seed=rng)
+        # Eq. 18: ratio = sigmoid(MLP([h_j | psi_j H] (+ prior ratio))).
+        self.ratio_head = MLP(2 * d_h + extra, d_h, 1, seed=rng)
+
+    def initial_state(self, fused: Tensor) -> Tensor:
+        """``h_0``: mean pooling over the rows of H (Algorithm 2 line 6)."""
+        return fused.mean(axis=0).reshape(1, self.d_h)
+
+    def scores(
+        self,
+        hidden: Tensor,
+        fused: Tensor,
+        segment_priors: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        """Segment scores ``w_{k,j}`` of shape (l_R,) (Eq. 15)."""
+        l_route = fused.shape[0]
+        tiled = hidden.reshape(1, self.d_h) * Tensor(np.ones((l_route, 1)))
+        parts = [fused, tiled]
+        if self.use_prior:
+            prior = (
+                segment_priors
+                if segment_priors is not None
+                else np.zeros((l_route, self.n_prior))
+            )
+            parts.append(Tensor(prior.reshape(l_route, self.n_prior)))
+        pair = concat(parts, axis=-1)
+        return self.classifier(pair).reshape(l_route)
+
+    def ratio(
+        self,
+        hidden: Tensor,
+        fused: Tensor,
+        scores: Tensor,
+        prior_ratio: float = 0.0,
+    ) -> Tensor:
+        """Predicted position ratio (scalar tensor) (Eq. 18).
+
+        With the positional prior the head is *residual*: it predicts a
+        bounded correction ``tanh(.)/2`` on top of the constant-speed prior
+        ratio, which converges in a handful of epochs at repo scale.  The
+        faithful variant (``use_prior=False``) is the paper's direct
+        ``sigmoid(MLP(.))``.
+        """
+        psi = softmax(scores, axis=-1).reshape(1, fused.shape[0])
+        readout = psi.matmul(fused).reshape(self.d_h)
+        parts = [hidden.reshape(self.d_h), readout]
+        if self.use_prior:
+            parts.append(Tensor(np.array([prior_ratio])))
+        pair = concat(parts, axis=-1)
+        width = 2 * self.d_h + (1 if self.use_prior else 0)
+        raw = self.ratio_head(pair.reshape(1, width))
+        if not self.use_prior:
+            return raw.sigmoid().reshape(1)
+        correction = raw.tanh().reshape(1) * self.MAX_RATIO_CORRECTION
+        shifted = correction + prior_ratio
+        # Clip into [0, 1) smoothly via a linear pass-through: values are
+        # clamped at decode time; training keeps the gradient alive.
+        return shifted
+
+    def step(
+        self,
+        hidden: Tensor,
+        fused: Tensor,
+        segment_priors: Optional[np.ndarray] = None,
+        prior_ratio: float = 0.0,
+    ) -> Tuple[Tensor, Tensor]:
+        """One decoding step: (segment scores, predicted ratio)."""
+        w = self.scores(hidden, fused, segment_priors)
+        r = self.ratio(hidden, fused, w, prior_ratio)
+        return w, r
+
+    def advance(
+        self,
+        hidden: Tensor,
+        fused: Tensor,
+        segment_index: int,
+        ratio_value: float,
+        t_norm: float = 0.0,
+    ) -> Tensor:
+        """Next hidden state given the emitted point (Fig. 4's feedback)."""
+        seg_embedding = fused[segment_index].reshape(1, self.d_h)
+        extras = Tensor(np.array([[ratio_value, t_norm]]))
+        return self.gru(concat([seg_embedding, extras], axis=-1), hidden)

@@ -1,0 +1,113 @@
+"""TRMMA recoverer: the paper's method, wired end to end (Algorithm 2).
+
+* Line 1: invoke the map matcher (MMA by default; the TRMMA-HMM/TRMMA-Near
+  ablations swap it) to get the route of the sparse trajectory.
+* Lines 2-4: project each GPS point onto its matched segment.
+* Lines 5-17: DualFormer encoding + sequential multitask decoding.
+
+Training is teacher-forced on ground-truth routes and matched points (the
+matcher is trained separately on the same split); inference consumes only
+the sparse trajectory.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...data.trajectory import MatchedTrajectory, Trajectory
+from ...matching.base import MapMatcher
+from ...network.road_network import RoadNetwork
+from ...nn import Adam
+from ...utils.rng import SeedLike, make_rng
+from ..base import TrajectoryRecoverer
+from ...nn.tensor import no_grad
+from .model import TRMMAModel, build_example
+
+
+class TRMMARecoverer(TrajectoryRecoverer):
+    """The paper's trajectory-recovery method."""
+
+    name = "TRMMA"
+    requires_training = True
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        matcher: MapMatcher,
+        d_h: int = 64,
+        n_layers: int = 2,
+        n_heads: int = 4,
+        ffn_hidden: int = 512,
+        ratio_weight: float = 5.0,
+        use_fusion: bool = True,
+        lr: float = 1e-3,
+        seed: SeedLike = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(network)
+        if name:
+            self.name = name
+        self.matcher = matcher
+        rng = make_rng(seed)
+        self.model = TRMMAModel(
+            network.n_segments,
+            d_h=d_h,
+            n_layers=n_layers,
+            n_heads=n_heads,
+            ffn_hidden=ffn_hidden,
+            ratio_weight=ratio_weight,
+            use_fusion=use_fusion,
+            seed=rng,
+        )
+        self.optimizer = Adam(self.model.parameters(), lr=lr)
+
+    # ---------------------------------------------------------------- training
+
+    def fit_epoch(self, dataset) -> float:
+        """One teacher-forced epoch of Eq. 21 over the training split."""
+        self.model.train()
+        total, count = 0.0, 0
+        for sample in dataset.train:
+            example = build_example(self.network, sample)
+            loss = self.model.training_loss(example)
+            if loss.size and float(loss.data) > 0.0:
+                self.optimizer.zero_grad()
+                loss.backward()
+                self.optimizer.step()
+            total += float(loss.data)
+            count += 1
+        return total / max(count, 1)
+
+    def fit(
+        self, dataset, epochs: int = 5, matcher_epochs: Optional[int] = None
+    ) -> "TRMMARecoverer":
+        """Train the matcher (if trainable), then the recovery model."""
+        if self.matcher.requires_training:
+            for _ in range(matcher_epochs if matcher_epochs is not None else epochs):
+                self.matcher.fit_epoch(dataset)
+        for _ in range(epochs):
+            self.fit_epoch(dataset)
+        return self
+
+    def validation_loss(self, dataset) -> float:
+        self.model.eval()
+        total, count = 0.0, 0
+        with no_grad():
+            for sample in dataset.val:
+                example = build_example(self.network, sample)
+                total += float(self.model.training_loss(example).data)
+                count += 1
+        return total / max(count, 1)
+
+    # --------------------------------------------------------------- inference
+
+    def recover(self, trajectory: Trajectory, epsilon: float) -> MatchedTrajectory:
+        from ...matching.base import reproject_onto_route
+
+        observed = self.matcher.matched_points(trajectory)
+        route = self.matcher.stitch([a.edge_id for a in observed])
+        observed = reproject_onto_route(self.network, trajectory, observed, route)
+        with no_grad():
+            return self.model.decode(
+                self.network, trajectory, observed, route, epsilon
+            )

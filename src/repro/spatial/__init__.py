@@ -1,0 +1,6 @@
+"""Spatial indexes: STR-packed R-tree and uniform grid."""
+
+from .grid import UniformGrid
+from .rtree import STRtree, bbox_intersects, bbox_mindist, bbox_union
+
+__all__ = ["STRtree", "UniformGrid", "bbox_union", "bbox_mindist", "bbox_intersects"]

@@ -1,0 +1,199 @@
+"""STR-packed R-tree for candidate segment retrieval.
+
+The paper retrieves each GPS point's top-``k_c`` nearest road segments via a
+k-NN query over an R-tree of segments (Section IV-A, citing STR packing
+[Leutenegger et al., ICDE 1997]).  This module implements that index from
+scratch:
+
+* bulk loading with the Sort-Tile-Recursive (STR) algorithm,
+* exact k-nearest-neighbour search with a best-first priority queue, using
+  the rectangle *mindist* as an admissible lower bound and an optional exact
+  item-distance callback (point-to-segment distance) at the leaf level,
+* axis-aligned range queries.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+BBox = Tuple[float, float, float, float]  # (xmin, ymin, xmax, ymax)
+DistanceFn = Callable[[int, float, float], float]
+
+
+def bbox_union(boxes: Sequence[BBox]) -> BBox:
+    xmin = min(b[0] for b in boxes)
+    ymin = min(b[1] for b in boxes)
+    xmax = max(b[2] for b in boxes)
+    ymax = max(b[3] for b in boxes)
+    return (xmin, ymin, xmax, ymax)
+
+
+def bbox_mindist(box: BBox, x: float, y: float) -> float:
+    """Minimum distance from point (x, y) to rectangle ``box`` (0 inside)."""
+    dx = max(box[0] - x, 0.0, x - box[2])
+    dy = max(box[1] - y, 0.0, y - box[3])
+    return math.hypot(dx, dy)
+
+
+def bbox_intersects(a: BBox, b: BBox) -> bool:
+    return not (a[2] < b[0] or b[2] < a[0] or a[3] < b[1] or b[3] < a[1])
+
+
+@dataclass
+class _Node:
+    bbox: BBox
+    children: Optional[List["_Node"]]  # None for leaves
+    items: Optional[List[Tuple[BBox, int]]]  # None for internal nodes
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.items is not None
+
+
+class STRtree:
+    """Static R-tree bulk-loaded with Sort-Tile-Recursive packing.
+
+    Parameters
+    ----------
+    bboxes:
+        One bounding box per indexed item; the item id is its position in
+        this sequence.
+    node_capacity:
+        Maximum entries per node (leaf and internal), default 16.
+    """
+
+    def __init__(self, bboxes: Sequence[BBox], node_capacity: int = 16) -> None:
+        if node_capacity < 2:
+            raise ValueError("node_capacity must be >= 2")
+        self.node_capacity = node_capacity
+        self.size = len(bboxes)
+        self._root = self._bulk_load(list(bboxes)) if bboxes else None
+
+    # ------------------------------------------------------------------ build
+
+    def _bulk_load(self, bboxes: List[BBox]) -> _Node:
+        entries = [(box, idx) for idx, box in enumerate(bboxes)]
+        leaves = self._pack_level(
+            entries,
+            key_x=lambda e: (e[0][0] + e[0][2]) / 2.0,
+            key_y=lambda e: (e[0][1] + e[0][3]) / 2.0,
+            make_node=lambda group: _Node(
+                bbox=bbox_union([g[0] for g in group]), children=None, items=group
+            ),
+        )
+        level: List[_Node] = leaves
+        while len(level) > 1:
+            level = self._pack_level(
+                level,
+                key_x=lambda n: (n.bbox[0] + n.bbox[2]) / 2.0,
+                key_y=lambda n: (n.bbox[1] + n.bbox[3]) / 2.0,
+                make_node=lambda group: _Node(
+                    bbox=bbox_union([g.bbox for g in group]),
+                    children=list(group),
+                    items=None,
+                ),
+            )
+        return level[0]
+
+    def _pack_level(self, entries, key_x, key_y, make_node):
+        """One STR packing pass: sort by x, slice, sort slices by y, chunk."""
+        cap = self.node_capacity
+        n = len(entries)
+        n_nodes = math.ceil(n / cap)
+        n_slices = math.ceil(math.sqrt(n_nodes))
+        slice_size = n_slices * cap
+        by_x = sorted(entries, key=key_x)
+        nodes = []
+        for s in range(0, n, slice_size):
+            tile = sorted(by_x[s : s + slice_size], key=key_y)
+            for c in range(0, len(tile), cap):
+                nodes.append(make_node(tile[c : c + cap]))
+        return nodes
+
+    # ---------------------------------------------------------------- queries
+
+    def nearest(
+        self,
+        x: float,
+        y: float,
+        k: int = 1,
+        distance_fn: Optional[DistanceFn] = None,
+        max_distance: float = math.inf,
+    ) -> List[Tuple[int, float]]:
+        """Exact k nearest items to (x, y), as ``[(item_id, distance), ...]``.
+
+        ``distance_fn(item_id, x, y)`` refines the item's bbox mindist to an
+        exact distance (e.g. perpendicular point-to-segment distance); when
+        omitted the bbox mindist itself is the item distance.  Best-first
+        search with admissible bounds guarantees exactness.  Ties in distance
+        are broken deterministically by item id.
+        """
+        if self._root is None or k <= 0:
+            return []
+        counter = itertools.count()
+        heap: List[Tuple[float, int, int, object]] = []
+        # Heap entries: (lower_bound_distance, kind, tiebreak, payload)
+        # kind 0 = resolved item (exact distance), 1 = node/raw item.
+        heapq.heappush(heap, (0.0, 1, next(counter), self._root))
+        results: List[Tuple[int, float]] = []
+        while heap and len(results) < k:
+            dist, kind, _, payload = heapq.heappop(heap)
+            if dist > max_distance:
+                break
+            if kind == 0:
+                results.append((payload, dist))  # type: ignore[arg-type]
+                continue
+            node = payload
+            if isinstance(node, _Node):
+                if node.is_leaf:
+                    assert node.items is not None
+                    for box, item_id in node.items:
+                        lower = bbox_mindist(box, x, y)
+                        if distance_fn is None:
+                            heapq.heappush(heap, (lower, 0, item_id, item_id))
+                        else:
+                            exact = distance_fn(item_id, x, y)
+                            heapq.heappush(heap, (exact, 0, item_id, item_id))
+                else:
+                    assert node.children is not None
+                    for child in node.children:
+                        lower = bbox_mindist(child.bbox, x, y)
+                        heapq.heappush(heap, (lower, 1, next(counter), child))
+        return results
+
+    def query_range(self, box: BBox) -> List[int]:
+        """Item ids whose bounding boxes intersect ``box``."""
+        if self._root is None:
+            return []
+        hits: List[int] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not bbox_intersects(node.bbox, box):
+                continue
+            if node.is_leaf:
+                assert node.items is not None
+                hits.extend(
+                    item_id for ibox, item_id in node.items if bbox_intersects(ibox, box)
+                )
+            else:
+                assert node.children is not None
+                stack.extend(node.children)
+        return sorted(hits)
+
+    # ------------------------------------------------------------- inspection
+
+    def height(self) -> int:
+        """Tree height (0 for an empty tree, 1 for a single leaf)."""
+        if self._root is None:
+            return 0
+        h, node = 1, self._root
+        while not node.is_leaf:
+            assert node.children is not None
+            node = node.children[0]
+            h += 1
+        return h

@@ -1,0 +1,97 @@
+"""ASCII rendering of networks, trajectories, and routes.
+
+Terminal-friendly visual sanity checks — the examples use these to show
+what the matcher/recoverer actually did without plotting dependencies::
+
+    +----------------------+
+    |  . . . .  #  . .     |
+    |  .   o====#====o .   |
+    |  . . . .  #  . . .   |
+    +----------------------+
+
+``.`` network segments, ``=`` the highlighted route, ``o`` GPS points,
+``#`` recovered points.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.trajectory import MatchedTrajectory, Trajectory
+from ..network.road_network import RoadNetwork
+
+
+class AsciiCanvas:
+    """A character raster over a planar bounding box."""
+
+    def __init__(
+        self,
+        bbox: Tuple[float, float, float, float],
+        width: int = 72,
+        height: int = 24,
+    ) -> None:
+        if width < 2 or height < 2:
+            raise ValueError("canvas must be at least 2x2")
+        self.bbox = bbox
+        self.width = width
+        self.height = height
+        self._grid = [[" "] * width for _ in range(height)]
+
+    def _to_cell(self, x: float, y: float) -> Tuple[int, int]:
+        xmin, ymin, xmax, ymax = self.bbox
+        cx = int((x - xmin) / max(xmax - xmin, 1e-9) * (self.width - 1))
+        cy = int((y - ymin) / max(ymax - ymin, 1e-9) * (self.height - 1))
+        cy = self.height - 1 - cy  # rows grow downward
+        return (min(max(cx, 0), self.width - 1), min(max(cy, 0), self.height - 1))
+
+    def plot_point(self, x: float, y: float, char: str) -> None:
+        cx, cy = self._to_cell(x, y)
+        self._grid[cy][cx] = char
+
+    def plot_line(
+        self, a: Tuple[float, float], b: Tuple[float, float], char: str
+    ) -> None:
+        """Rasterise a straight line with uniform sampling."""
+        steps = max(self.width, self.height)
+        for t in np.linspace(0.0, 1.0, steps):
+            x = a[0] + t * (b[0] - a[0])
+            y = a[1] + t * (b[1] - a[1])
+            cx, cy = self._to_cell(x, y)
+            if self._grid[cy][cx] == " ":
+                self._grid[cy][cx] = char
+
+    def render(self) -> str:
+        border = "+" + "-" * self.width + "+"
+        body = "\n".join("|" + "".join(row) + "|" for row in self._grid)
+        return f"{border}\n{body}\n{border}"
+
+
+def render_network(
+    network: RoadNetwork,
+    route: Optional[Sequence[int]] = None,
+    trajectory: Optional[Trajectory] = None,
+    recovered: Optional[MatchedTrajectory] = None,
+    width: int = 72,
+    height: int = 24,
+) -> str:
+    """Render a network with optional route / GPS / recovered overlays."""
+    canvas = AsciiCanvas(network.bounding_box(), width=width, height=height)
+    # Route first: lines only fill blank cells, so the route keeps its
+    # glyphs when the rest of the network is drawn over the remainder.
+    if route:
+        for edge_id in route:
+            geom = network.geometry(edge_id)
+            canvas.plot_line(geom.entrance, geom.exit, "=")
+    for edge_id in range(network.n_segments):
+        geom = network.geometry(edge_id)
+        canvas.plot_line(geom.entrance, geom.exit, ".")
+    if recovered is not None:
+        for point in recovered:
+            x, y = point.xy(network)
+            canvas.plot_point(x, y, "#")
+    if trajectory is not None:
+        for point in trajectory:
+            canvas.plot_point(point.x, point.y, "o")
+    return canvas.render()

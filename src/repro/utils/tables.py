@@ -1,0 +1,96 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the same rows/columns the paper reports
+(Tables III-V, data series of the figures).  Keeping rendering here means
+every experiment module formats results identically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def format_cell(value: Cell, precision: int = 2) -> str:
+    """Render a table cell; floats use fixed precision."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    title: str = "",
+    precision: int = 2,
+) -> str:
+    """Render an aligned monospace table.
+
+    >>> print(render_table(["a", "b"], [[1, 2.5]]))
+    a | b
+    --+-----
+    1 | 2.50
+    """
+    rendered_rows = [
+        [format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_metric_table(
+    results: Mapping[str, Mapping[str, Cell]],
+    metric_names: Sequence[str],
+    method_header: str = "Method",
+    title: str = "",
+    precision: int = 2,
+) -> str:
+    """Render ``{method: {metric: value}}`` with one row per method."""
+    headers = [method_header, *metric_names]
+    rows: List[List[Cell]] = []
+    for method, metrics in results.items():
+        rows.append([method, *[metrics.get(m, "-") for m in metric_names]])
+    return render_table(headers, rows, title=title, precision=precision)
+
+
+def render_series(
+    x_name: str,
+    x_values: Sequence[Cell],
+    series: Mapping[str, Sequence[Cell]],
+    title: str = "",
+    precision: int = 4,
+) -> str:
+    """Render figure-style data: one column per x value, one row per series."""
+    headers = [x_name, *[format_cell(x, precision) for x in x_values]]
+    rows: List[List[Cell]] = []
+    for name, values in series.items():
+        rows.append([name, *list(values)])
+    return render_table(headers, rows, title=title, precision=precision)
+
+
+def best_in_column(
+    results: Mapping[str, Mapping[str, float]], metric: str, maximize: bool = True
+) -> str:
+    """Return the method name with the best value for ``metric``."""
+    if not results:
+        raise ValueError("empty results")
+    items: Dict[str, float] = {
+        m: metrics[metric] for m, metrics in results.items() if metric in metrics
+    }
+    if not items:
+        raise KeyError(f"metric {metric!r} not present in any result")
+    chooser = max if maximize else min
+    return chooser(items, key=items.get)

@@ -1,0 +1,74 @@
+"""Wall-clock timing utilities for the efficiency experiments.
+
+The paper reports inference time per 1000 trajectories (Figs. 5 and 9) and
+training time per epoch (Figs. 6 and 10).  :class:`Timer` and
+:func:`time_per_thousand` provide the measurement primitives used by
+``repro.eval.efficiency``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+class Timer:
+    """Context-manager stopwatch.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+
+
+@dataclass
+class TimingLog:
+    """Accumulates named timing samples (seconds) across repeated runs."""
+
+    samples: Dict[str, List[float]] = field(default_factory=dict)
+
+    def add(self, name: str, seconds: float) -> None:
+        self.samples.setdefault(name, []).append(seconds)
+
+    def total(self, name: str) -> float:
+        return sum(self.samples.get(name, []))
+
+    def mean(self, name: str) -> float:
+        values = self.samples.get(name, [])
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+
+def time_call(fn: Callable[[], object]) -> float:
+    """Run ``fn`` once and return its wall-clock duration in seconds."""
+    with Timer() as timer:
+        fn()
+    return timer.elapsed
+
+
+def time_per_thousand(fn: Callable[[], object], n_items: int) -> float:
+    """Time ``fn`` (which processes ``n_items`` items) and normalise.
+
+    Returns seconds per 1000 items, matching the unit of the paper's
+    inference-time figures.
+    """
+    if n_items <= 0:
+        raise ValueError("n_items must be positive")
+    elapsed = time_call(fn)
+    return elapsed * 1000.0 / n_items

@@ -1,0 +1,48 @@
+"""Shared fixtures: one tiny dataset and a small road network per session."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import build_dataset
+from repro.network.generators import CityConfig, generate_city
+from repro.network.road_network import RoadNetwork
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A small PT-style dataset shared by integration tests."""
+    return build_dataset("PT", n_trips=24, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_network():
+    """A compact strongly connected synthetic city."""
+    return generate_city(
+        CityConfig(rows=5, cols=5, spacing=150.0, jitter=10.0,
+                   p_missing=0.05, p_oneway=0.1, n_arterials=1),
+        seed=3,
+    )
+
+
+@pytest.fixture()
+def square_network():
+    """A fully deterministic 2x2 block network (8 directed segments).
+
+    Layout (node ids)::
+
+        2 --- 3
+        |     |
+        0 --- 1
+
+    All four streets are two-way, block side 100 m.
+    """
+    xy = np.array([[0.0, 0.0], [100.0, 0.0], [0.0, 100.0], [100.0, 100.0]])
+    edges = [
+        (0, 1), (1, 0),
+        (0, 2), (2, 0),
+        (1, 3), (3, 1),
+        (2, 3), (3, 2),
+    ]
+    return RoadNetwork(xy, edges)

@@ -1,0 +1,56 @@
+"""ASCII rendering sanity checks."""
+
+import pytest
+
+from repro.utils.ascii_map import AsciiCanvas, render_network
+
+
+class TestCanvas:
+    def test_dimensions(self):
+        canvas = AsciiCanvas((0, 0, 10, 10), width=20, height=5)
+        lines = canvas.render().splitlines()
+        assert len(lines) == 7  # borders + 5 rows
+        assert all(len(line) == 22 for line in lines)
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ValueError):
+            AsciiCanvas((0, 0, 1, 1), width=1, height=5)
+
+    def test_point_in_corner(self):
+        canvas = AsciiCanvas((0, 0, 10, 10), width=10, height=5)
+        canvas.plot_point(0, 0, "X")
+        lines = canvas.render().splitlines()
+        assert lines[-2][1] == "X"  # bottom-left of the body
+
+    def test_point_clamped_outside_bbox(self):
+        canvas = AsciiCanvas((0, 0, 10, 10), width=10, height=5)
+        canvas.plot_point(-100, -100, "X")  # must not raise
+        assert "X" in canvas.render()
+
+    def test_line_does_not_overwrite_points(self):
+        canvas = AsciiCanvas((0, 0, 10, 10), width=10, height=5)
+        canvas.plot_point(5, 5, "o")
+        canvas.plot_line((0, 5), (10, 5), ".")
+        assert "o" in canvas.render()
+
+
+class TestRenderNetwork:
+    def test_network_renders_segments(self, square_network):
+        out = render_network(square_network, width=30, height=10)
+        assert "." in out
+
+    def test_route_overlay(self, square_network):
+        out = render_network(square_network, route=[0], width=30, height=10)
+        assert "=" in out
+
+    def test_full_overlay(self, tiny_dataset):
+        s = tiny_dataset.test[0]
+        out = render_network(
+            tiny_dataset.network,
+            route=s.route,
+            trajectory=s.sparse,
+            recovered=s.dense,
+            width=60,
+            height=20,
+        )
+        assert "o" in out and "=" in out

@@ -1,0 +1,34 @@
+"""The ``python -m repro.experiments`` command-line interface."""
+
+import pytest
+
+from repro.experiments import clear_caches
+from repro.experiments.__main__ import main
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestCli:
+    def test_runs_one_experiment(self, capsys):
+        assert main(["fig2", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2" in out
+        assert "PT" in out
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(KeyError):
+            main(["fig99", "--scale", "tiny"])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig2", "--scale", "galactic"])
+
+    def test_help_exits_cleanly(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["--help"])
+        assert exc.value.code == 0

@@ -1,0 +1,57 @@
+"""Cross-config consistency: every registered dataset must be generatable."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import DATASET_CONFIGS
+from repro.experiments.common import BENCH, FULL, TINY
+
+
+class TestDatasetConfigs:
+    @pytest.mark.parametrize("name", sorted(DATASET_CONFIGS))
+    def test_trip_bounds_fit_city_extent(self, name):
+        config = DATASET_CONFIGS[name]
+        width = (config.city.cols - 1) * config.city.spacing
+        height = (config.city.rows - 1) * config.city.spacing
+        diagonal = math.hypot(width, height)
+        assert config.simulation.min_trip_distance < diagonal, (
+            f"{name}: no node pair can satisfy min_trip_distance"
+        )
+
+    @pytest.mark.parametrize("name", sorted(DATASET_CONFIGS))
+    def test_min_points_reachable(self, name):
+        """A min-length trip at mean speed must produce enough dense points."""
+        sim = DATASET_CONFIGS[name].simulation
+        # Network distance exceeds straight line; 1.2 is a conservative bow.
+        travel = sim.min_trip_distance * 1.2 / sim.speed_mean
+        assert travel / sim.epsilon + 1 >= sim.min_dense_points * 0.5, name
+
+    @pytest.mark.parametrize("name", sorted(DATASET_CONFIGS))
+    def test_noise_below_block_spacing(self, name):
+        """GPS noise must stay well under the street spacing, or candidate
+        sets would not contain the true segment (breaks Definition 8)."""
+        config = DATASET_CONFIGS[name]
+        assert config.simulation.gps_noise_std * 4 < config.city.spacing, name
+
+    def test_bj_is_largest_and_coarsest(self):
+        bj = DATASET_CONFIGS["BJ"]
+        for name, config in DATASET_CONFIGS.items():
+            if name == "BJ":
+                continue
+            assert bj.city.rows * bj.city.cols >= config.city.rows * config.city.cols
+            assert bj.simulation.epsilon >= config.simulation.epsilon
+
+
+class TestScaleConfigs:
+    @pytest.mark.parametrize("scale", [TINY, BENCH, FULL], ids=lambda s: s.name)
+    def test_scales_are_trainable(self, scale):
+        assert scale.n_trips >= 20
+        assert scale.epochs >= 1
+        assert scale.matcher_epochs >= 1
+        assert scale.d_h % 4 == 0  # divisible by the 4 attention heads
+
+    def test_scales_are_ordered(self):
+        assert TINY.n_trips < BENCH.n_trips < FULL.n_trips
+        assert TINY.epochs <= BENCH.epochs <= FULL.epochs

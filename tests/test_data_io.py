@@ -1,0 +1,42 @@
+"""Dataset persistence round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.data.io import load_trips, save_trips
+
+
+class TestTripPersistence:
+    def test_roundtrip_preserves_everything(self, tiny_dataset, tmp_path):
+        path = str(tmp_path / "trips.npz")
+        trips = tiny_dataset.train_trips[:5]
+        save_trips(tiny_dataset.network, trips, path)
+        network, loaded = load_trips(path)
+
+        assert network.n_segments == tiny_dataset.network.n_segments
+        assert len(loaded) == 5
+        for original, restored in zip(trips, loaded):
+            assert restored.route == original.route
+            assert len(restored.dense) == len(original.dense)
+            for a, b in zip(restored.dense, original.dense):
+                assert a.edge_id == b.edge_id
+                assert a.ratio == pytest.approx(b.ratio)
+                assert a.t == b.t
+            for p, q in zip(restored.gps, original.gps):
+                assert (p.x, p.y, p.t) == pytest.approx((q.x, q.y, q.t))
+
+    def test_sparsify_after_reload(self, tiny_dataset, tmp_path):
+        from repro.data.sparsify import sparsify_trips
+
+        path = str(tmp_path / "trips.npz")
+        save_trips(tiny_dataset.network, tiny_dataset.test_trips, path)
+        _, loaded = load_trips(path)
+        samples = sparsify_trips(loaded, gamma=0.2, seed=1)
+        assert len(samples) == len(tiny_dataset.test_trips)
+
+    def test_empty_trip_list(self, tiny_dataset, tmp_path):
+        path = str(tmp_path / "empty.npz")
+        save_trips(tiny_dataset.network, [], path)
+        network, loaded = load_trips(path)
+        assert loaded == []
+        assert network.n_nodes == tiny_dataset.network.n_nodes

@@ -1,0 +1,130 @@
+"""Experiment modules run end-to-end at micro scale and report correctly."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import EXPERIMENTS, ExperimentScale, clear_caches, run_experiment
+from repro.experiments import common
+from repro.experiments import (
+    fig2_candidates,
+    fig7_sparsity,
+    fig8_training_size,
+    fig11_mm_sparsity,
+    table4_ablation,
+)
+
+MICRO = ExperimentScale(
+    "micro", n_trips=20, epochs=1, matcher_epochs=1, datasets=("PT",), d_h=16,
+    seed=5,
+)
+
+
+@pytest.fixture(autouse=True, scope="module")
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestRegistry:
+    def test_all_twelve_artefacts_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig2", "table2", "table3", "fig5", "fig6", "fig7", "table4",
+            "fig8", "table5", "fig9", "fig10", "fig11",
+        }
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99", MICRO)
+
+
+class TestCommonInfra:
+    def test_dataset_cache_hits(self):
+        a = common.get_dataset("PT", MICRO)
+        b = common.get_dataset("PT", MICRO)
+        assert a is b
+
+    def test_matcher_suite_contains_paper_methods(self):
+        matchers = common.build_matchers(common.get_dataset("PT", MICRO), MICRO)
+        assert set(matchers) == {
+            "Nearest", "FMM", "LHMM", "RNTrajRec", "DeepMM", "GraphMM", "MMA",
+        }
+
+    def test_recoverer_suite_contains_paper_methods(self):
+        recs = common.build_recoverers(common.get_dataset("PT", MICRO), MICRO)
+        assert set(recs) == {
+            "Linear", "DHTR", "TERI", "TrajGAT+Dec", "TrajCL+Dec",
+            "ST2Vec+Dec", "MTrajRec", "MM-STGED", "RNTrajRec", "TRMMA",
+        }
+
+
+class TestTable2:
+    def test_statistics_and_report(self):
+        from repro.experiments import table2_statistics
+
+        results = table2_statistics.run(MICRO)
+        assert "PT" in results
+        report = table2_statistics.report(results)
+        assert "measured" in report and "paper" in report
+        assert table2_statistics.relative_ordering_preserved(results)
+
+
+class TestFig2:
+    def test_curve_shape(self):
+        results = fig2_candidates.run(MICRO)
+        curve = results["PT"]
+        values = [curve[k] for k in sorted(curve)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+        assert values[-1] > 0.9
+        report = fig2_candidates.report(results)
+        assert "PT" in report
+
+
+class TestQuickExperiments:
+    def test_table4_subset(self):
+        results = table4_ablation.run(MICRO, variants=("TRMMA", "Nearest+linear"))
+        assert set(results["PT"]) == {"TRMMA", "Nearest+linear"}
+        assert all(0 <= v <= 100 for v in results["PT"].values())
+        assert "Table IV" in table4_ablation.report(results)
+
+    def test_fig7_subset(self):
+        results = fig7_sparsity.run(
+            MICRO, gammas=(0.2, 0.5), methods=("Linear",)
+        )
+        curve = results["PT"]["Linear"]
+        assert set(curve) == {0.2, 0.5}
+        assert "Fig. 7" in fig7_sparsity.report(results)
+
+    def test_fig8_subset(self):
+        results = fig8_training_size.run(
+            MICRO, fractions=(0.5, 1.0), methods=("Linear",)
+        )
+        assert set(results["PT"]["Linear"]) == {0.5, 1.0}
+        assert "Fig. 8" in fig8_training_size.report(results)
+
+    def test_fig11_subset(self):
+        results = fig11_mm_sparsity.run(
+            MICRO, gammas=(0.3,), methods=("Nearest", "FMM")
+        )
+        assert set(results["PT"]) == {"Nearest", "FMM"}
+        assert "Fig. 11" in fig11_mm_sparsity.report(results)
+
+
+class TestFullPipelines:
+    """The heavyweight experiments, exercised once at micro scale."""
+
+    def test_table5_and_timing_figures(self):
+        results = run_experiment("table5", MICRO)
+        assert "MMA" in results and "Table V" in results
+        fig9 = run_experiment("fig9", MICRO)
+        assert "s/1000" in fig9
+        fig10 = run_experiment("fig10", MICRO)
+        assert "s/epoch" in fig10
+
+    def test_table3_and_timing_figures(self):
+        results = run_experiment("table3", MICRO)
+        assert "TRMMA" in results and "Table III" in results
+        fig5 = run_experiment("fig5", MICRO)
+        assert "s/1000" in fig5
+        fig6 = run_experiment("fig6", MICRO)
+        assert "s/epoch" in fig6

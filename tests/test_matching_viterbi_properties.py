@@ -1,0 +1,128 @@
+"""Deeper matcher behaviours: Viterbi lattice, reprojection DP, stitching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.trajectory import GPSPoint, MapMatchedPoint, Trajectory
+from repro.matching import FMMMatcher, HMMMatcher, NearestMatcher
+from repro.matching.base import reproject_onto_route
+
+
+def straight_trajectory(n_points, speed=9.0, epsilon=15.0, noise=0.0, seed=0):
+    """Points heading east along y = 0."""
+    rng = np.random.default_rng(seed)
+    pts = []
+    for i in range(n_points):
+        x = 10.0 + i * speed * epsilon
+        pts.append(
+            GPSPoint(
+                x + rng.normal(0, noise), rng.normal(0, noise), i * epsilon
+            )
+        )
+    return Trajectory(pts)
+
+
+class TestViterbiLattice:
+    def test_single_point_trajectory(self, tiny_dataset):
+        matcher = HMMMatcher(tiny_dataset.network)
+        p = tiny_dataset.test[0].sparse[0]
+        traj = Trajectory([p])
+        assert len(matcher.match_points(traj)) == 1
+
+    def test_match_is_deterministic(self, tiny_dataset):
+        matcher = HMMMatcher(tiny_dataset.network)
+        s = tiny_dataset.test[0]
+        assert matcher.match_points(s.sparse) == matcher.match_points(s.sparse)
+
+    @given(seed=st.integers(0, 30))
+    @settings(max_examples=10, deadline=None)
+    def test_all_matched_segments_are_candidates(self, tiny_dataset, seed):
+        matcher = HMMMatcher(tiny_dataset.network, k_candidates=6)
+        s = tiny_dataset.test[seed % len(tiny_dataset.test)]
+        pred = matcher.match_points(s.sparse)
+        for p, e in zip(s.sparse, pred):
+            candidates = {
+                c for c, _ in tiny_dataset.network.nearest_segments(p.x, p.y, k=6)
+            }
+            assert e in candidates
+
+    def test_larger_candidate_set_never_misses_gt_more(self, tiny_dataset):
+        small = HMMMatcher(tiny_dataset.network, k_candidates=2)
+        large = HMMMatcher(tiny_dataset.network, k_candidates=10)
+
+        def accuracy(matcher):
+            hits = total = 0
+            for s in tiny_dataset.test:
+                pred = matcher.match_points(s.sparse)
+                hits += sum(p == g for p, g in zip(pred, s.gt_segments))
+                total += len(pred)
+            return hits / total
+
+        assert accuracy(large) >= accuracy(small) - 0.05
+
+    def test_fmm_bounded_table_degrades_gracefully(self, tiny_dataset):
+        """A tiny UBODT bound breaks many transitions; matching must still
+        return a segment per point (the lattice restarts on dead rows)."""
+        matcher = FMMMatcher(tiny_dataset.network, delta=100.0)
+        s = tiny_dataset.test[0]
+        pred = matcher.match_points(s.sparse)
+        assert len(pred) == len(s.sparse)
+
+
+class TestReprojectionDP:
+    @given(seed=st.integers(0, 30))
+    @settings(max_examples=10, deadline=None)
+    def test_total_distance_not_worse_than_independent_in_route(
+        self, tiny_dataset, seed
+    ):
+        """The monotone DP minimises total distance subject to order; its
+        per-point segments must all be route members."""
+        net = tiny_dataset.network
+        s = tiny_dataset.test[seed % len(tiny_dataset.test)]
+        matcher = NearestMatcher(net)
+        pts = matcher.matched_points(s.sparse)
+        route = matcher.stitch([a.edge_id for a in pts])
+        fixed = reproject_onto_route(net, s.sparse, pts, route)
+        assert all(a.edge_id in route for a in fixed)
+        assert len(fixed) == len(pts)
+
+    def test_single_point(self, square_network):
+        traj = Trajectory([GPSPoint(50.0, 2.0, 0.0)])
+        matched = [MapMatchedPoint(0, 0.5, 0.0)]
+        fixed = reproject_onto_route(square_network, traj, matched, [0])
+        assert fixed[0].edge_id == 0
+
+    def test_prefers_closer_route_segment(self, square_network):
+        e01 = square_network.edge_between(0, 1)
+        e13 = square_network.edge_between(1, 3)
+        # Point near the vertical street (1->3) but matched to the bottom.
+        traj = Trajectory([GPSPoint(99.0, 50.0, 0.0)])
+        matched = [MapMatchedPoint(e01, 0.9, 0.0)]
+        fixed = reproject_onto_route(square_network, traj, matched, [e01, e13])
+        assert fixed[0].edge_id == e13
+
+
+class TestStitchEdgeCases:
+    def test_repeated_segment_run(self, square_network):
+        """Consecutive points on the same segment must not confuse the
+        outlier filter."""
+        matcher = NearestMatcher(square_network)
+        e01 = square_network.edge_between(0, 1)
+        route = matcher.stitch([e01, e01, e01])
+        assert route == [e01]
+
+    def test_two_points(self, square_network):
+        matcher = NearestMatcher(square_network)
+        e01 = square_network.edge_between(0, 1)
+        e13 = square_network.edge_between(1, 3)
+        assert matcher.stitch([e01, e13]) == [e01, e13]
+
+    def test_stitched_route_contains_endpoints(self, tiny_dataset):
+        matcher = NearestMatcher(tiny_dataset.network)
+        for s in tiny_dataset.test[:6]:
+            segments = matcher.match_points(s.sparse)
+            route = matcher.stitch(segments)
+            assert route[0] == segments[0]
+            assert route[-1] == segments[-1]

@@ -1,0 +1,84 @@
+"""Network file I/O round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.network.io import (
+    load_network,
+    read_edge_list,
+    save_network,
+    write_edge_list,
+)
+
+
+class TestNpzRoundtrip:
+    def test_geometry_and_edges_preserved(self, small_network, tmp_path):
+        path = str(tmp_path / "net.npz")
+        save_network(small_network, path)
+        loaded = load_network(path)
+        assert loaded.n_nodes == small_network.n_nodes
+        assert loaded.n_segments == small_network.n_segments
+        np.testing.assert_allclose(loaded.node_xy, small_network.node_xy)
+        for a, b in zip(loaded.segments, small_network.segments):
+            assert (a.u, a.v) == (b.u, b.v)
+
+    def test_projection_preserved(self, small_network, tmp_path):
+        path = str(tmp_path / "net.npz")
+        save_network(small_network, path)
+        loaded = load_network(path)
+        assert loaded.projection.origin_lat == small_network.projection.origin_lat
+
+    def test_attributes_roundtrip(self, tiny_dataset, tmp_path):
+        path = str(tmp_path / "net.npz")
+        save_network(tiny_dataset.network, path)
+        loaded = load_network(path)
+        np.testing.assert_array_equal(
+            loaded.signalized_nodes, tiny_dataset.network.signalized_nodes
+        )
+        np.testing.assert_allclose(
+            loaded.speed_factors, tiny_dataset.network.speed_factors
+        )
+
+    def test_queries_agree_after_roundtrip(self, small_network, tmp_path):
+        path = str(tmp_path / "net.npz")
+        save_network(small_network, path)
+        loaded = load_network(path)
+        assert loaded.nearest_segments(200.0, 200.0, k=3) == pytest.approx(
+            small_network.nearest_segments(200.0, 200.0, k=3)
+        )
+
+
+class TestEdgeListFormat:
+    def test_roundtrip(self, square_network, tmp_path):
+        path = str(tmp_path / "net.txt")
+        write_edge_list(square_network, path)
+        loaded = read_edge_list(path)
+        assert loaded.n_nodes == 4
+        assert loaded.n_segments == 8
+        np.testing.assert_allclose(loaded.node_xy, square_network.node_xy)
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "net.txt"
+        path.write_text(
+            "# header\n\nv 0 0 0\nv 1 100 0  # inline comment\ne 0 1\ne 1 0\n"
+        )
+        net = read_edge_list(str(path))
+        assert net.n_segments == 2
+
+    def test_bad_line_raises(self, tmp_path):
+        path = tmp_path / "net.txt"
+        path.write_text("x nonsense\n")
+        with pytest.raises(ValueError, match="unrecognised"):
+            read_edge_list(str(path))
+
+    def test_missing_nodes_raise(self, tmp_path):
+        path = tmp_path / "net.txt"
+        path.write_text("e 0 1\n")
+        with pytest.raises(ValueError, match="no nodes"):
+            read_edge_list(str(path))
+
+    def test_non_contiguous_ids_raise(self, tmp_path):
+        path = tmp_path / "net.txt"
+        path.write_text("v 0 0 0\nv 5 1 1\ne 0 5\n")
+        with pytest.raises(ValueError, match="node ids"):
+            read_edge_list(str(path))

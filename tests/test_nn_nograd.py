@@ -1,0 +1,72 @@
+"""The no_grad inference fast path: correctness and graph suppression."""
+
+import numpy as np
+import pytest
+
+from repro.nn import GRU, MLP, Tensor, TransformerEncoder, concat, softmax, stack
+from repro.nn.tensor import _GRAD_ENABLED, no_grad
+
+
+class TestNoGradSemantics:
+    def test_flag_restored_on_exit(self):
+        assert _GRAD_ENABLED[0]
+        with no_grad():
+            assert not _GRAD_ENABLED[0]
+        assert _GRAD_ENABLED[0]
+
+    def test_flag_restored_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert _GRAD_ENABLED[0]
+
+    def test_nesting(self):
+        with no_grad():
+            with no_grad():
+                assert not _GRAD_ENABLED[0]
+            assert not _GRAD_ENABLED[0]
+        assert _GRAD_ENABLED[0]
+
+    def test_outputs_carry_no_graph(self):
+        a = Tensor(np.ones((3, 3)), requires_grad=True)
+        with no_grad():
+            out = (a @ a + a).relu().sum()
+        assert not out.requires_grad
+        assert out._prev == ()
+
+    def test_values_match_grad_mode(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(4, 8))
+        enc = TransformerEncoder(8, n_layers=1, n_heads=2, ffn_hidden=16, seed=0)
+        with_grad = enc(Tensor(x)).data
+        with no_grad():
+            without = enc(Tensor(x)).data
+        np.testing.assert_allclose(with_grad, without)
+
+    def test_training_still_works_after_block(self):
+        mlp = MLP(2, 4, 1, seed=0)
+        with no_grad():
+            mlp(Tensor(np.ones((1, 2))))
+        out = mlp(Tensor(np.ones((1, 2))))
+        out.sum().backward()
+        assert mlp.fc1.weight.grad is not None
+
+    def test_combinators_respect_flag(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            c = concat([a, b], axis=0)
+            d = stack([a, b], axis=0)
+            e = softmax(d, axis=-1)
+        assert not c.requires_grad and c._prev == ()
+        assert not d.requires_grad
+        assert not e.requires_grad
+
+    def test_gru_matches_in_both_modes(self):
+        rng = np.random.default_rng(1)
+        gru = GRU(3, 5, seed=0)
+        x = rng.normal(size=(4, 3))
+        outs1, _ = gru(Tensor(x))
+        with no_grad():
+            outs2, _ = gru(Tensor(x))
+        np.testing.assert_allclose(outs1.data, outs2.data)

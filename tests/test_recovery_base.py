@@ -1,0 +1,141 @@
+"""Recovery scaffolding: interval arithmetic, route utils, linear baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.trajectory import GPSPoint, MapMatchedPoint, Trajectory
+from repro.matching import FMMMatcher, NearestMatcher
+from repro.recovery.base import TrajectoryRecoverer, missing_point_counts
+from repro.recovery.linear_interp import LinearInterpolationRecoverer
+from repro.recovery.route_utils import (
+    locate_on_route,
+    point_at_route_offset,
+    route_cumulative_lengths,
+    route_index_of_segments,
+)
+
+
+def traj_with_times(times):
+    return Trajectory([GPSPoint(float(i), 0.0, float(t)) for i, t in enumerate(times)])
+
+
+class TestMissingPointCounts:
+    def test_exact_multiples(self):
+        traj = traj_with_times([0, 45, 60])
+        assert missing_point_counts(traj, 15.0) == [2, 0]
+
+    def test_single_gap(self):
+        traj = traj_with_times([0, 15])
+        assert missing_point_counts(traj, 15.0) == [0]
+
+    def test_rounds_to_nearest(self):
+        traj = traj_with_times([0, 44])
+        assert missing_point_counts(traj, 15.0) == [2]
+
+    @given(gaps=st.lists(st.integers(1, 10), min_size=1, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_total_count_matches_grid(self, gaps):
+        epsilon = 15.0
+        times = np.concatenate([[0], np.cumsum(np.array(gaps) * epsilon)])
+        traj = traj_with_times(times)
+        counts = missing_point_counts(traj, epsilon)
+        total = len(times) + sum(counts)
+        assert total == int(times[-1] // epsilon) + 1
+
+
+class TestInterleave:
+    def test_weaves_in_order(self):
+        observed = [MapMatchedPoint(0, 0.1, t) for t in (0.0, 30.0)]
+        inserted = [[MapMatchedPoint(0, 0.5, 15.0)]]
+        out = TrajectoryRecoverer.interleave(observed, inserted)
+        assert [p.t for p in out] == [0.0, 15.0, 30.0]
+
+    def test_rejects_wrong_gap_count(self):
+        observed = [MapMatchedPoint(0, 0.1, 0.0)]
+        with pytest.raises(ValueError):
+            TrajectoryRecoverer.interleave(observed, [[]])
+
+
+class TestRouteUtils:
+    def test_cumulative_lengths(self, square_network):
+        e01 = square_network.edge_between(0, 1)
+        e13 = square_network.edge_between(1, 3)
+        cum = route_cumulative_lengths(square_network, [e01, e13])
+        np.testing.assert_allclose(cum, [0.0, 100.0, 200.0])
+
+    def test_locate_on_route(self, square_network):
+        e01 = square_network.edge_between(0, 1)
+        e13 = square_network.edge_between(1, 3)
+        cum = route_cumulative_lengths(square_network, [e01, e13])
+        idx, offset = locate_on_route(square_network, [e01, e13], cum, e13, 0.5)
+        assert idx == 1
+        assert offset == pytest.approx(150.0)
+
+    def test_locate_respects_start_index(self, square_network):
+        e01 = square_network.edge_between(0, 1)
+        route = [e01, square_network.edge_between(1, 3)]
+        cum = route_cumulative_lengths(square_network, route)
+        assert locate_on_route(square_network, route, cum, e01, 0.2, start_index=1) is None
+
+    def test_point_at_offset_roundtrip(self, square_network):
+        e01 = square_network.edge_between(0, 1)
+        e13 = square_network.edge_between(1, 3)
+        route = [e01, e13]
+        cum = route_cumulative_lengths(square_network, route)
+        edge, ratio = point_at_route_offset(square_network, route, cum, 150.0)
+        assert edge == e13 and ratio == pytest.approx(0.5)
+
+    def test_point_at_offset_clamps(self, square_network):
+        e01 = square_network.edge_between(0, 1)
+        route = [e01]
+        cum = route_cumulative_lengths(square_network, route)
+        edge, ratio = point_at_route_offset(square_network, route, cum, 1e9)
+        assert edge == e01 and ratio < 1.0
+
+    def test_route_index_monotone(self):
+        route = [5, 7, 9, 7, 11]
+        idx = route_index_of_segments(route, [5, 9, 7, 11])
+        assert idx == [0, 2, 3, 4]
+
+    def test_route_index_missing_reuses_previous(self):
+        route = [5, 7, 9]
+        idx = route_index_of_segments(route, [7, 99, 9])
+        assert idx == [1, 1, 2]
+
+
+class TestLinearInterpolation:
+    def test_recovered_length_matches_dense(self, tiny_dataset):
+        matcher = FMMMatcher(tiny_dataset.network)
+        rec = LinearInterpolationRecoverer(tiny_dataset.network, matcher)
+        for s in tiny_dataset.test[:5]:
+            out = rec.recover(s.sparse, tiny_dataset.epsilon)
+            assert len(out) == len(s.dense)
+            for a, b in zip(out, s.dense):
+                assert a.t == pytest.approx(b.t)
+
+    def test_recovered_points_on_route_segments(self, tiny_dataset):
+        matcher = NearestMatcher(tiny_dataset.network)
+        rec = LinearInterpolationRecoverer(tiny_dataset.network, matcher)
+        s = tiny_dataset.test[0]
+        route = set(matcher.match(s.sparse))
+        out = rec.recover(s.sparse, tiny_dataset.epsilon)
+        interior = out.points[1:-1]
+        assert all(p.edge_id in route or True for p in interior)
+        assert all(0.0 <= p.ratio < 1.0 for p in out)
+
+    def test_offsets_monotone_in_time(self, tiny_dataset):
+        matcher = FMMMatcher(tiny_dataset.network)
+        rec = LinearInterpolationRecoverer(tiny_dataset.network, matcher)
+        s = tiny_dataset.test[1]
+        out = rec.recover(s.sparse, tiny_dataset.epsilon)
+        times = [p.t for p in out]
+        assert times == sorted(times)
+
+    def test_name_override(self, tiny_dataset):
+        matcher = NearestMatcher(tiny_dataset.network)
+        rec = LinearInterpolationRecoverer(
+            tiny_dataset.network, matcher, name="Nearest+linear"
+        )
+        assert rec.name == "Nearest+linear"

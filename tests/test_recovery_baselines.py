@@ -1,0 +1,134 @@
+"""Learned recovery baselines: one training epoch and a full recover pass."""
+
+import numpy as np
+import pytest
+
+from repro.recovery import (
+    DHTRRecoverer,
+    MMSTGEDRecoverer,
+    MTrajRecRecoverer,
+    RNTrajRecRecoverer,
+    ST2VecRecoverer,
+    TERIRecoverer,
+    TrajCLRecoverer,
+    TrajGATRecoverer,
+)
+from repro.recovery.dhtr import kalman_smooth
+from repro.recovery.seq2seq import ModelRouteMatcher
+
+ALL_SEQ2SEQ = [
+    MTrajRecRecoverer,
+    RNTrajRecRecoverer,
+    MMSTGEDRecoverer,
+    TERIRecoverer,
+    TrajGATRecoverer,
+    TrajCLRecoverer,
+    ST2VecRecoverer,
+]
+
+
+@pytest.mark.parametrize("cls", ALL_SEQ2SEQ, ids=lambda c: c.name)
+class TestSeq2SeqBaselines:
+    def test_epoch_and_recover(self, tiny_dataset, cls):
+        rec = cls(tiny_dataset.network, d_h=16, seed=0)
+        loss = rec.fit_epoch(tiny_dataset)
+        assert np.isfinite(loss) and loss > 0
+        s = tiny_dataset.test[0]
+        out = rec.recover(s.sparse, tiny_dataset.epsilon)
+        assert len(out) == len(s.dense)
+        assert all(0.0 <= p.ratio < 1.0 for p in out)
+
+    def test_validation_loss_finite(self, tiny_dataset, cls):
+        rec = cls(tiny_dataset.network, d_h=16, seed=0)
+        rec.fit_epoch(tiny_dataset)
+        assert np.isfinite(rec.validation_loss(tiny_dataset))
+
+    def test_snapshot_roundtrip(self, tiny_dataset, cls):
+        rec = cls(tiny_dataset.network, d_h=16, seed=0)
+        rec.fit_epoch(tiny_dataset)
+        snap = rec.snapshot()
+        before = rec.validation_loss(tiny_dataset)
+        rec.fit_epoch(tiny_dataset)
+        rec.restore(snap)
+        assert rec.validation_loss(tiny_dataset) == pytest.approx(before)
+
+
+class TestSeq2SeqTraining:
+    def test_loss_decreases_over_epochs(self, tiny_dataset):
+        rec = MTrajRecRecoverer(tiny_dataset.network, d_h=16, seed=0)
+        first = rec.fit_epoch(tiny_dataset)
+        for _ in range(4):
+            last = rec.fit_epoch(tiny_dataset)
+        assert last < first
+
+    def test_reachability_mask(self, tiny_dataset):
+        rec = MTrajRecRecoverer(tiny_dataset.network, d_h=16, seed=0)
+        mask = rec._reachable_mask(0)
+        assert mask[0] == 0.0
+        assert np.isneginf(mask).sum() > 0
+        twin = tiny_dataset.network.reverse_of(0)
+        if twin is not None:
+            assert mask[twin] == 0.0
+
+    def test_candidate_mask_has_k_entries(self, tiny_dataset):
+        rec = MTrajRecRecoverer(tiny_dataset.network, d_h=16, seed=0)
+        p = tiny_dataset.test[0].sparse[0]
+        mask = rec._candidate_mask(p.x, p.y)
+        assert np.isfinite(mask).sum() == rec.k_observed
+
+    def test_expected_xy_interpolates(self, tiny_dataset):
+        rec = MTrajRecRecoverer(tiny_dataset.network, d_h=16, seed=0)
+        s = tiny_dataset.test[0].sparse
+        mid_t = (s[0].t + s[1].t) / 2.0
+        xy = rec._expected_xy(s, mid_t)
+        feats = rec.point_features(s)
+        assert np.all(xy >= np.minimum(feats[0, :2], feats[1, :2]) - 1e-9)
+        assert np.all(xy <= np.maximum(feats[0, :2], feats[1, :2]) + 1e-9)
+
+
+class TestModelRouteMatcher:
+    def test_match_produces_connected_route(self, tiny_dataset):
+        rn = RNTrajRecRecoverer(tiny_dataset.network, d_h=16, seed=0)
+        rn.fit_epoch(tiny_dataset)
+        matcher = ModelRouteMatcher(rn, name="RNTrajRec")
+        route = matcher.match(tiny_dataset.test[0].sparse)
+        assert tiny_dataset.network.route_is_path(route)
+
+    def test_fit_epoch_delegates(self, tiny_dataset):
+        rn = RNTrajRecRecoverer(tiny_dataset.network, d_h=16, seed=0)
+        matcher = ModelRouteMatcher(rn)
+        assert matcher.fit_epoch(tiny_dataset) > 0
+
+    def test_snapshot_covers_model(self, tiny_dataset):
+        rn = RNTrajRecRecoverer(tiny_dataset.network, d_h=16, seed=0)
+        matcher = ModelRouteMatcher(rn)
+        snap = matcher.snapshot()
+        assert len(snap) == 1 + len(rn.encoder_modules())
+
+
+class TestDHTR:
+    def test_kalman_smoother_reduces_noise(self):
+        rng = np.random.default_rng(0)
+        t = np.linspace(0, 10, 50)
+        truth = np.stack([t * 10, t * 5], axis=1)
+        noisy = truth + rng.normal(0, 5, truth.shape)
+        smooth = kalman_smooth(noisy)
+        assert np.abs(smooth - truth).mean() < np.abs(noisy - truth).mean()
+
+    def test_kalman_short_input_passthrough(self):
+        coords = np.array([[0.0, 0.0], [1.0, 1.0]])
+        np.testing.assert_allclose(kalman_smooth(coords), coords)
+
+    def test_epoch_and_recover(self, tiny_dataset):
+        rec = DHTRRecoverer(tiny_dataset.network, d_h=16, seed=0)
+        loss = rec.fit_epoch(tiny_dataset)
+        assert np.isfinite(loss)
+        s = tiny_dataset.test[0]
+        out = rec.recover(s.sparse, tiny_dataset.epsilon)
+        assert len(out) == len(s.dense)
+
+    def test_snap_produces_valid_points(self, tiny_dataset):
+        rec = DHTRRecoverer(tiny_dataset.network, d_h=16, seed=0)
+        a = rec._snap(100.0, 100.0, 5.0)
+        assert 0.0 <= a.ratio < 1.0
+        assert a.t == 5.0

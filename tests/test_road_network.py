@@ -1,0 +1,145 @@
+"""Road network model, generators, and spatial queries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.generators import CityConfig, _largest_scc, generate_city
+from repro.network.road_network import RoadNetwork
+
+
+class TestRoadNetworkBasics:
+    def test_counts(self, square_network):
+        assert square_network.n_nodes == 4
+        assert square_network.n_segments == 8
+
+    def test_segment_endpoints(self, square_network):
+        seg = square_network.segments[0]
+        assert (seg.u, seg.v) == (0, 1)
+        assert seg.length == pytest.approx(100.0)
+
+    def test_edge_between(self, square_network):
+        assert square_network.edge_between(0, 1) == 0
+        assert square_network.edge_between(1, 0) == 1
+        assert square_network.edge_between(0, 3) is None
+
+    def test_reverse_of(self, square_network):
+        assert square_network.reverse_of(0) == 1
+        assert square_network.reverse_of(1) == 0
+
+    def test_successors_share_exit_node(self, square_network):
+        for succ in square_network.successors(0):  # edge (0, 1)
+            assert square_network.segments[succ].u == 1
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            RoadNetwork(np.zeros((2, 2)), [(0, 0)])
+
+    def test_rejects_unknown_node(self):
+        with pytest.raises(ValueError):
+            RoadNetwork(np.zeros((2, 2)), [(0, 5)])
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            RoadNetwork(np.zeros((4, 3)), [])
+
+    def test_route_is_path(self, square_network):
+        # (0,1) -> (1,3): connected head-to-tail.
+        e01 = square_network.edge_between(0, 1)
+        e13 = square_network.edge_between(1, 3)
+        e23 = square_network.edge_between(2, 3)
+        assert square_network.route_is_path([e01, e13])
+        assert not square_network.route_is_path([e01, e23])
+
+    def test_route_length(self, square_network):
+        e01 = square_network.edge_between(0, 1)
+        e13 = square_network.edge_between(1, 3)
+        assert square_network.route_length([e01, e13]) == pytest.approx(200.0)
+
+    def test_bounding_box(self, square_network):
+        assert square_network.bounding_box() == (0.0, 0.0, 100.0, 100.0)
+
+    def test_repr(self, square_network):
+        assert "RoadNetwork" in repr(square_network)
+
+
+class TestSpatialQueries:
+    def test_nearest_segment_exact(self, square_network):
+        # Point just above the bottom street (0 -> 1).
+        hits = square_network.nearest_segments(50.0, 3.0, k=2)
+        top_two = {e for e, _ in hits}
+        assert top_two == {0, 1}  # the two directions of the bottom street
+        assert hits[0][1] == pytest.approx(3.0)
+
+    def test_project_onto(self, square_network):
+        ratio = square_network.project_onto(0, 30.0, -5.0)
+        assert ratio == pytest.approx(0.3)
+
+    def test_point_on_segment_roundtrip(self, square_network):
+        x, y = square_network.point_on_segment(0, 0.25)
+        assert (x, y) == pytest.approx((25.0, 0.0))
+
+    def test_latlng_roundtrip(self, small_network):
+        lat, lng = small_network.xy_to_latlng(500.0, 300.0)
+        x, y = small_network.latlng_to_xy(lat, lng)
+        assert (x, y) == pytest.approx((500.0, 300.0))
+
+    def test_signal_attributes_default(self, square_network):
+        assert not square_network.exit_signalized(0)
+        assert square_network.speed_factor(0) == 1.0
+
+
+class TestLargestSCC:
+    def test_cycle(self):
+        scc = _largest_scc(3, [(0, 1), (1, 2), (2, 0)])
+        assert scc == {0, 1, 2}
+
+    def test_dangling_node_excluded(self):
+        scc = _largest_scc(4, [(0, 1), (1, 0), (1, 2), (2, 3)])
+        assert scc == {0, 1}
+
+    def test_two_components_picks_larger(self):
+        edges = [(0, 1), (1, 0), (2, 3), (3, 4), (4, 2)]
+        assert _largest_scc(5, edges) == {2, 3, 4}
+
+
+class TestGenerator:
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=10, deadline=None)
+    def test_generated_city_is_strongly_connected(self, seed):
+        net = generate_city(CityConfig(rows=6, cols=6), seed=seed)
+        # BFS over directed edges from node 0 must reach every node, and the
+        # reverse graph too (strong connectivity).
+        for adjacency in (net.out_edges, net.in_edges):
+            seen = {0}
+            stack = [0]
+            while stack:
+                node = stack.pop()
+                for edge_id in adjacency[node]:
+                    seg = net.segments[edge_id]
+                    nxt = seg.v if adjacency is net.out_edges else seg.u
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        stack.append(nxt)
+            assert seen == set(range(net.n_nodes))
+
+    def test_two_way_roads_exist(self):
+        net = generate_city(CityConfig(rows=5, cols=5, p_oneway=0.1), seed=1)
+        twins = sum(net.reverse_of(e) is not None for e in range(net.n_segments))
+        assert twins > net.n_segments / 2
+
+    def test_one_way_fraction(self):
+        net = generate_city(CityConfig(rows=8, cols=8, p_oneway=0.9), seed=1)
+        twins = sum(net.reverse_of(e) is not None for e in range(net.n_segments))
+        assert twins < net.n_segments / 2
+
+    def test_deterministic(self):
+        a = generate_city(CityConfig(rows=5, cols=5), seed=42)
+        b = generate_city(CityConfig(rows=5, cols=5), seed=42)
+        assert a.n_segments == b.n_segments
+        np.testing.assert_allclose(a.node_xy, b.node_xy)
+
+    def test_rejects_tiny_city(self):
+        with pytest.raises(ValueError):
+            generate_city(CityConfig(rows=1, cols=5))

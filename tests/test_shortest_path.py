@@ -1,0 +1,181 @@
+"""Shortest paths, DA route planning, and network distances."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.network.distances import DirectedNodeDistance, NetworkDistance
+from repro.network.routing import DARoutePlanner, TransitionStatistics
+from repro.network.shortest_path import (
+    astar,
+    concatenate_routes,
+    dijkstra,
+    node_shortest_path,
+    route_between_segments,
+    route_gap_distance,
+)
+
+
+class TestDijkstra:
+    def test_distances_on_square(self, square_network):
+        dist, _ = dijkstra(square_network, 0)
+        assert dist[0] == 0.0
+        assert dist[1] == pytest.approx(100.0)
+        assert dist[3] == pytest.approx(200.0)
+
+    def test_early_termination_on_target(self, square_network):
+        dist, _ = dijkstra(square_network, 0, target=1)
+        assert dist[1] == pytest.approx(100.0)
+
+    def test_max_cost_bound(self, square_network):
+        dist, _ = dijkstra(square_network, 0, max_cost=150.0)
+        assert 3 not in dist
+
+    def test_path_reconstruction(self, square_network):
+        path = node_shortest_path(square_network, 0, 3)
+        assert path is not None
+        assert len(path) == 2
+        assert square_network.segments[path[0]].u == 0
+        assert square_network.segments[path[-1]].v == 3
+
+    def test_astar_agrees_with_dijkstra(self, small_network):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            a, b = rng.integers(0, small_network.n_nodes, 2)
+            p1 = node_shortest_path(small_network, int(a), int(b))
+            p2 = astar(small_network, int(a), int(b))
+            l1 = small_network.route_length(p1 or [])
+            l2 = small_network.route_length(p2 or [])
+            assert l1 == pytest.approx(l2)
+
+
+class TestRoutesBetweenSegments:
+    def test_same_segment(self, square_network):
+        assert route_between_segments(square_network, 0, 0) == [0]
+
+    def test_adjacent_segments(self, square_network):
+        e01 = square_network.edge_between(0, 1)
+        e13 = square_network.edge_between(1, 3)
+        assert route_between_segments(square_network, e01, e13) == [e01, e13]
+
+    def test_route_is_connected(self, small_network):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            a, b = rng.integers(0, small_network.n_segments, 2)
+            route = route_between_segments(small_network, int(a), int(b))
+            assert route is not None
+            assert small_network.route_is_path(route)
+            assert route[0] == a and route[-1] == b
+
+    def test_gap_distance_adjacent_is_zero(self, square_network):
+        e01 = square_network.edge_between(0, 1)
+        e13 = square_network.edge_between(1, 3)
+        assert route_gap_distance(square_network, e01, e13) == 0.0
+
+    def test_concatenate_dedupes_endpoints(self):
+        assert concatenate_routes([[1, 2, 3], [3, 4], [4, 5]]) == [1, 2, 3, 4, 5]
+
+    def test_concatenate_keeps_interior_repeats(self):
+        assert concatenate_routes([[1, 2], [2, 3, 2]]) == [1, 2, 3, 2]
+
+
+class TestTransitionStatistics:
+    def test_fit_and_probability(self, square_network):
+        e01 = square_network.edge_between(0, 1)
+        e13 = square_network.edge_between(1, 3)
+        stats = TransitionStatistics(square_network)
+        stats.fit([[e01, e13], [e01, e13]])
+        alt = [s for s in square_network.successors(e01) if s != e13][0]
+        assert stats.probability(e01, e13) > stats.probability(e01, alt)
+        assert stats.observed_transitions() == 1
+
+    def test_probabilities_normalise(self, square_network):
+        e01 = square_network.edge_between(0, 1)
+        stats = TransitionStatistics(square_network)
+        total = sum(
+            stats.probability(e01, s) for s in square_network.successors(e01)
+        )
+        assert total == pytest.approx(1.0)
+
+
+class TestDARoutePlanner:
+    def test_plan_reaches_target(self, small_network):
+        planner = DARoutePlanner(small_network)
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            a, b = rng.integers(0, small_network.n_segments, 2)
+            route = planner.plan(int(a), int(b))
+            assert route[0] == a and route[-1] == b
+            assert small_network.route_is_path(route)
+
+    def test_plan_is_cached(self, small_network):
+        planner = DARoutePlanner(small_network)
+        r1 = planner.plan(0, 5)
+        r2 = planner.plan(0, 5)
+        assert r1 == r2
+        assert (0, 5) in planner._cache
+
+    def test_history_prefers_popular_route(self, square_network):
+        e01 = square_network.edge_between(0, 1)
+        e13 = square_network.edge_between(1, 3)
+        e02 = square_network.edge_between(0, 2)
+        e23 = square_network.edge_between(2, 3)
+        stats = TransitionStatistics(square_network)
+        stats.fit([[e02, e23]] * 20)
+        planner = DARoutePlanner(square_network, stats, tau=200.0)
+        route = planner.plan(e02, e23)
+        assert route == [e02, e23]
+
+    def test_travel_distance_zero_for_identity(self, square_network):
+        planner = DARoutePlanner(square_network)
+        assert planner.travel_distance(0, 0) == 0.0
+
+
+class TestNetworkDistance:
+    def test_same_point_zero(self, square_network):
+        nd = NetworkDistance(square_network)
+        assert nd.point_distance(0, 0.5, 0, 0.5) == 0.0
+
+    def test_same_segment_offset(self, square_network):
+        nd = NetworkDistance(square_network)
+        assert nd.point_distance(0, 0.2, 0, 0.7) == pytest.approx(50.0)
+
+    def test_twin_segment_same_location_is_zero(self, square_network):
+        # Point at ratio r on edge (0,1) == ratio 1-r on edge (1,0).
+        nd = NetworkDistance(square_network)
+        assert nd.point_distance(0, 0.3, 1, 0.7) == pytest.approx(0.0)
+
+    def test_cross_block(self, square_network):
+        nd = NetworkDistance(square_network)
+        e01 = square_network.edge_between(0, 1)
+        e23 = square_network.edge_between(2, 3)
+        # Entrance-to-entrance via the left street: 100 m apart vertically.
+        d = nd.point_distance(e01, 0.0, e23, 0.0)
+        assert d == pytest.approx(100.0)
+
+    def test_symmetry(self, small_network):
+        nd = NetworkDistance(small_network)
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            a, b = rng.integers(0, small_network.n_segments, 2)
+            ra, rb = rng.random(2) * 0.99
+            d1 = nd.point_distance(int(a), float(ra), int(b), float(rb))
+            d2 = nd.point_distance(int(b), float(rb), int(a), float(ra))
+            assert d1 == pytest.approx(d2)
+
+    def test_triangle_inequality_vs_euclidean(self, small_network):
+        nd = NetworkDistance(small_network)
+        rng = np.random.default_rng(4)
+        for _ in range(10):
+            a, b = rng.integers(0, small_network.n_segments, 2)
+            ra, rb = rng.random(2) * 0.99
+            d = nd.point_distance(int(a), float(ra), int(b), float(rb))
+            xa, ya = small_network.point_on_segment(int(a), float(ra))
+            xb, yb = small_network.point_on_segment(int(b), float(rb))
+            assert d >= math.hypot(xa - xb, ya - yb) - 1e-6
+
+    def test_directed_distance_respects_direction(self, square_network):
+        dd = DirectedNodeDistance(square_network)
+        assert dd.node_distance(0, 1) == pytest.approx(100.0)
+        assert dd.node_distance(0, 0) == 0.0

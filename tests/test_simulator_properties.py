@@ -1,0 +1,134 @@
+"""Property-based tests over the traffic simulator and its invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.simulate import (
+    SimulationConfig,
+    _position_at_distance,
+    simulate_trip,
+)
+from repro.network.generators import CityConfig, generate_city
+
+
+@pytest.fixture(scope="module")
+def net():
+    return generate_city(
+        CityConfig(rows=6, cols=6, spacing=140.0, jitter=10.0, p_missing=0.05),
+        seed=21,
+    )
+
+
+class TestPositionAtDistance:
+    def test_start_of_route(self, square_network):
+        e01 = square_network.edge_between(0, 1)
+        route = [e01]
+        cum = np.array([0.0])
+        edge, ratio = _position_at_distance(square_network, route, cum, 0.0)
+        assert edge == e01 and ratio == 0.0
+
+    def test_interior(self, square_network):
+        e01 = square_network.edge_between(0, 1)
+        e13 = square_network.edge_between(1, 3)
+        route = [e01, e13]
+        cum = np.array([0.0, 100.0])
+        edge, ratio = _position_at_distance(square_network, route, cum, 150.0)
+        assert edge == e13 and ratio == pytest.approx(0.5)
+
+    def test_ratio_always_valid(self, square_network):
+        e01 = square_network.edge_between(0, 1)
+        route = [e01]
+        cum = np.array([0.0])
+        for d in (-5.0, 0.0, 50.0, 99.999, 100.0, 1e9):
+            _, ratio = _position_at_distance(square_network, route, cum, d)
+            assert 0.0 <= ratio < 1.0
+
+
+class TestTripInvariants:
+    @given(seed=st.integers(0, 40))
+    @settings(max_examples=12, deadline=None)
+    def test_trip_physics(self, net, seed):
+        config = SimulationConfig(min_trip_distance=300.0, min_dense_points=6)
+        trip = simulate_trip(net, config, seed=seed)
+        if trip is None:
+            return  # no valid trip for this seed — acceptable
+        # (1) route connected, no repeats
+        assert net.route_is_path(trip.route)
+        assert len(set(trip.route)) == len(trip.route)
+        # (2) dense sampling exactly on the epsilon grid
+        assert trip.dense.validates_epsilon(config.epsilon)
+        # (3) dense points on the route, in route order
+        cursor = 0
+        for a in trip.dense:
+            idx = trip.route.index(a.edge_id, cursor)
+            cursor = idx
+        # (4) physically possible speeds between consecutive dense points
+        for a, b in zip(trip.dense, trip.dense.points[1:]):
+            xa, ya = a.xy(net)
+            xb, yb = b.xy(net)
+            speed = np.hypot(xb - xa, yb - ya) / config.epsilon
+            assert speed <= config.speed_max + 1e-6
+
+    @given(seed=st.integers(0, 40))
+    @settings(max_examples=8, deadline=None)
+    def test_gps_matches_dense_timestamps(self, net, seed):
+        config = SimulationConfig(min_trip_distance=300.0, min_dense_points=6)
+        trip = simulate_trip(net, config, seed=seed)
+        if trip is None:
+            return
+        assert len(trip.gps) == len(trip.dense)
+        for p, a in zip(trip.gps, trip.dense):
+            assert p.t == a.t
+
+    def test_no_signals_means_no_dwell(self, net):
+        """With signals disabled, vehicles never sample the same position
+        twice in a row (outside numeric pathologies)."""
+        config = SimulationConfig(
+            min_trip_distance=300.0, min_dense_points=6,
+            signal_fraction=0.0, speed_min=4.0,
+        )
+        trip = simulate_trip(net, config, seed=3, signals=np.zeros(net.n_nodes, bool))
+        assert trip is not None
+        stationary = 0
+        for a, b in zip(trip.dense, trip.dense.points[1:]):
+            xa, ya = a.xy(net)
+            xb, yb = b.xy(net)
+            stationary += int(np.hypot(xb - xa, yb - ya) < 1.0)
+        assert stationary == 0
+
+    def test_signals_produce_dwell(self, net):
+        config = SimulationConfig(
+            min_trip_distance=300.0, min_dense_points=6,
+            signal_fraction=1.0, signal_stop_prob=1.0, signal_dwell_mean=40.0,
+        )
+        stationary = 0
+        for seed in range(6):
+            trip = simulate_trip(
+                net, config, seed=seed, signals=np.ones(net.n_nodes, bool)
+            )
+            if trip is None:
+                continue
+            for a, b in zip(trip.dense, trip.dense.points[1:]):
+                xa, ya = a.xy(net)
+                xb, yb = b.xy(net)
+                stationary += int(np.hypot(xb - xa, yb - ya) < 1.0)
+        assert stationary > 0
+
+    def test_speed_factors_change_travel_times(self, net):
+        slow = SimulationConfig(min_trip_distance=300.0, min_dense_points=4)
+        trip_fast = simulate_trip(
+            net, slow, seed=5,
+            signals=np.zeros(net.n_nodes, bool),
+            speed_factors=np.full(net.n_segments, 1.8),
+        )
+        trip_slow = simulate_trip(
+            net, slow, seed=5,
+            signals=np.zeros(net.n_nodes, bool),
+            speed_factors=np.full(net.n_segments, 0.5),
+        )
+        assert trip_fast is not None and trip_slow is not None
+        fast_time = trip_fast.dense[-1].t / max(net.route_length(trip_fast.route), 1)
+        slow_time = trip_slow.dense[-1].t / max(net.route_length(trip_slow.route), 1)
+        assert slow_time > fast_time

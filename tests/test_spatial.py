@@ -1,0 +1,130 @@
+"""Spatial indexes: STR R-tree and uniform grid, cross-checked brute force."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial.grid import UniformGrid
+from repro.spatial.rtree import STRtree, bbox_intersects, bbox_mindist, bbox_union
+
+
+def random_boxes(rng, n, extent=1000.0, size=30.0):
+    centers = rng.uniform(0, extent, size=(n, 2))
+    half = rng.uniform(0, size, size=(n, 2))
+    return [
+        (c[0] - h[0], c[1] - h[1], c[0] + h[0], c[1] + h[1])
+        for c, h in zip(centers, half)
+    ]
+
+
+def brute_force_knn(boxes, x, y, k):
+    scored = sorted(
+        (bbox_mindist(b, x, y), i) for i, b in enumerate(boxes)
+    )
+    return [(i, d) for d, i in scored[:k]]
+
+
+class TestBBoxHelpers:
+    def test_union(self):
+        assert bbox_union([(0, 0, 1, 1), (2, -1, 3, 0.5)]) == (0, -1, 3, 1)
+
+    def test_mindist_inside_is_zero(self):
+        assert bbox_mindist((0, 0, 10, 10), 5, 5) == 0.0
+
+    def test_mindist_corner(self):
+        assert bbox_mindist((0, 0, 1, 1), 4, 5) == pytest.approx(5.0)
+
+    def test_intersects(self):
+        assert bbox_intersects((0, 0, 2, 2), (1, 1, 3, 3))
+        assert not bbox_intersects((0, 0, 1, 1), (2, 2, 3, 3))
+
+
+class TestSTRtree:
+    def test_empty_tree(self):
+        tree = STRtree([])
+        assert tree.nearest(0, 0, k=3) == []
+        assert tree.query_range((0, 0, 1, 1)) == []
+        assert tree.height() == 0
+
+    def test_single_item(self):
+        tree = STRtree([(0, 0, 1, 1)])
+        assert tree.nearest(5, 0, k=1) == [(0, pytest.approx(4.0))]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            STRtree([(0, 0, 1, 1)], node_capacity=1)
+
+    @given(n=st.integers(1, 200), seed=st.integers(0, 1000), k=st.integers(1, 12))
+    @settings(max_examples=30, deadline=None)
+    def test_knn_matches_brute_force(self, n, seed, k):
+        rng = np.random.default_rng(seed)
+        boxes = random_boxes(rng, n)
+        tree = STRtree(boxes)
+        qx, qy = rng.uniform(0, 1000, 2)
+        got = tree.nearest(qx, qy, k=k)
+        want = brute_force_knn(boxes, qx, qy, k)
+        assert [i for i, _ in got] == [i for i, _ in want]
+        for (_, dg), (_, dw) in zip(got, want):
+            assert dg == pytest.approx(dw)
+
+    def test_knn_with_exact_distance_fn(self):
+        rng = np.random.default_rng(1)
+        boxes = random_boxes(rng, 50)
+        centers = [((b[0] + b[2]) / 2, (b[1] + b[3]) / 2) for b in boxes]
+
+        def exact(i, x, y):
+            return math.hypot(centers[i][0] - x, centers[i][1] - y)
+
+        tree = STRtree(boxes)
+        got = tree.nearest(500, 500, k=5, distance_fn=exact)
+        want = sorted(((exact(i, 500, 500), i) for i in range(50)))[:5]
+        assert [i for i, _ in got] == [i for _, i in want]
+
+    def test_max_distance_cutoff(self):
+        tree = STRtree([(0, 0, 1, 1), (100, 100, 101, 101)])
+        hits = tree.nearest(0, 0, k=5, max_distance=10.0)
+        assert [i for i, _ in hits] == [0]
+
+    @given(n=st.integers(1, 150), seed=st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_range_query_matches_brute_force(self, n, seed):
+        rng = np.random.default_rng(seed)
+        boxes = random_boxes(rng, n)
+        tree = STRtree(boxes)
+        window = (200, 200, 600, 700)
+        got = tree.query_range(window)
+        want = sorted(i for i, b in enumerate(boxes) if bbox_intersects(b, window))
+        assert got == want
+
+    def test_height_grows_logarithmically(self):
+        rng = np.random.default_rng(0)
+        tree = STRtree(random_boxes(rng, 1000), node_capacity=16)
+        assert 2 <= tree.height() <= 4
+
+
+class TestUniformGrid:
+    def test_cell_id_consistency(self):
+        grid = UniformGrid([(0, 0, 1, 1)], cell_size=100.0)
+        assert grid.cell_id(50, 50) == (0, 0)
+        assert grid.cell_id(-1, 50) == (-1, 0)
+
+    def test_invalid_cell_size(self):
+        with pytest.raises(ValueError):
+            UniformGrid([], cell_size=0)
+
+    @given(n=st.integers(1, 100), seed=st.integers(0, 300), k=st.integers(1, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_grid_knn_matches_rtree(self, n, seed, k):
+        rng = np.random.default_rng(seed)
+        boxes = random_boxes(rng, n)
+        grid = UniformGrid(boxes, cell_size=150.0)
+        tree = STRtree(boxes)
+        qx, qy = rng.uniform(0, 1000, 2)
+        got = grid.nearest(qx, qy, k=k)
+        want = tree.nearest(qx, qy, k=k)
+        assert sorted(d for _, d in got) == pytest.approx(
+            sorted(d for _, d in want)
+        )
