@@ -4,6 +4,11 @@ Each benchmark module regenerates one paper artefact (table or figure) at
 ``BENCH`` scale, times the regeneration with pytest-benchmark, prints the
 paper-style report, and writes it to ``benchmarks/results/<id>.txt``.
 
+Wall-clock seconds per experiment also accumulate into the machine-readable
+``benchmarks/results/BENCH_PR1.json`` (experiment id -> {seconds,
+batch_size}) so perf regressions across the batched-inference work are
+diffable without parsing the text reports.
+
 The heavyweight sweep experiments (Figs. 7, 8, 11 retrain per setting) run
 on a reduced dataset list to keep the suite practical; pass ``--scale`` via
 ``python -m repro.experiments`` for full runs.
@@ -11,15 +16,35 @@ on a reduced dataset list to keep the suite practical; pass ``--scale`` via
 
 from __future__ import annotations
 
+import json
 import pathlib
+import time
 from dataclasses import replace
 
 from repro.experiments import BENCH, EXPERIMENTS, ExperimentScale
+from repro.experiments.common import BENCH_BATCH_SIZE
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+BENCH_JSON = RESULTS_DIR / "BENCH_PR1.json"
 
 #: Reduced scale for the experiments that retrain per sweep setting.
 SWEEP_SCALE = replace(BENCH, datasets=("PT",))
+
+
+def record_benchmark(experiment_id: str, seconds: float) -> None:
+    """Merge one experiment's wall-clock seconds into BENCH_PR1.json."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    entries = {}
+    if BENCH_JSON.exists():
+        try:
+            entries = json.loads(BENCH_JSON.read_text())
+        except (ValueError, OSError):
+            entries = {}
+    entries[experiment_id] = {
+        "seconds": round(seconds, 6),
+        "batch_size": BENCH_BATCH_SIZE,
+    }
+    BENCH_JSON.write_text(json.dumps(entries, indent=2, sort_keys=True) + "\n")
 
 
 def run_and_report(
@@ -27,9 +52,14 @@ def run_and_report(
 ):
     """Run one experiment under pytest-benchmark and persist its report."""
     experiment = EXPERIMENTS[experiment_id]
-    results = benchmark.pedantic(
-        lambda: experiment.run(scale), rounds=1, iterations=1
-    )
+
+    def timed_run():
+        start = time.perf_counter()
+        results = experiment.run(scale)
+        record_benchmark(experiment_id, time.perf_counter() - start)
+        return results
+
+    results = benchmark.pedantic(timed_run, rounds=1, iterations=1)
     report = experiment.report(results)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{experiment_id}.txt").write_text(report + "\n")

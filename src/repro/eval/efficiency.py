@@ -54,6 +54,47 @@ def matching_inference_time(
     return time_call(run) * 1000.0 / len(samples)
 
 
+def recovery_inference_time_batched(
+    recoverer: TrajectoryRecoverer,
+    dataset: Dataset,
+    samples: Optional[Sequence[TrajectorySample]] = None,
+    batch_size: int = 32,
+) -> float:
+    """Seconds per 1000 recoveries using the batched recovery pipeline
+    (:meth:`~repro.recovery.base.TrajectoryRecoverer.recover_many`)."""
+    samples = dataset.test if samples is None else samples
+    if not samples:
+        raise ValueError("no samples to time")
+    trajectories = [sample.sparse for sample in samples]
+
+    def run() -> None:
+        recoverer.recover_many(
+            trajectories, dataset.epsilon, batch_size=batch_size
+        )
+
+    return time_call(run) * 1000.0 / len(samples)
+
+
+def matching_inference_time_batched(
+    matcher: MapMatcher,
+    dataset: Dataset,
+    samples: Optional[Sequence[TrajectorySample]] = None,
+    batch_size: int = 32,
+) -> float:
+    """Seconds per 1000 map matchings using the batched inference path
+    (:meth:`~repro.matching.base.MapMatcher.match_many`); results are
+    bit-identical to the sequential path for MMA."""
+    samples = dataset.test if samples is None else samples
+    if not samples:
+        raise ValueError("no samples to time")
+    trajectories = [sample.sparse for sample in samples]
+
+    def run() -> None:
+        matcher.match_many(trajectories, batch_size=batch_size)
+
+    return time_call(run) * 1000.0 / len(samples)
+
+
 def training_time_per_epoch(method, dataset: Dataset) -> float:
     """Wall-clock seconds of one training epoch of ``method``."""
     return time_call(lambda: method.fit_epoch(dataset))

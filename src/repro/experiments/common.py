@@ -64,6 +64,10 @@ BENCH = ExperimentScale("bench", n_trips=200, epochs=6, matcher_epochs=10,
 FULL = ExperimentScale("full", n_trips=400, epochs=12, matcher_epochs=16,
                        datasets=("PT", "XA", "BJ", "CD"))
 
+#: Mini-batch size used by the batched inference entries of the efficiency
+#: figures (Figs. 5/9) and by the benchmark suite's BENCH_PR1.json probe.
+BENCH_BATCH_SIZE = 32
+
 #: Node2Vec settings for experiment-scale MMA builds (cheap but effective).
 FAST_NODE2VEC = Node2VecConfig(
     dimensions=32, walk_length=12, walks_per_node=2, window=3, negatives=3, epochs=1

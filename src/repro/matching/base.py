@@ -64,9 +64,10 @@ class MapMatcher:
 
     def validation_point_accuracy(self, dataset) -> float:
         """Fraction of validation GPS points matched to their true segment."""
+        samples = list(dataset.val)
+        predictions = self.match_points_many([s.sparse for s in samples])
         correct, total = 0, 0
-        for sample in dataset.val:
-            predicted = self.match_points(sample.sparse)
+        for sample, predicted in zip(samples, predictions):
             for p, gt in zip(predicted, sample.gt_segments):
                 correct += int(p == gt)
                 total += 1
@@ -77,6 +78,29 @@ class MapMatcher:
     def match_points(self, trajectory: Trajectory) -> List[int]:
         """Segment id for every GPS point of ``trajectory``."""
         raise NotImplementedError
+
+    def match_points_many(
+        self, trajectories: Sequence[Trajectory], batch_size: int = 32
+    ) -> List[List[int]]:
+        """Point matches for many trajectories.
+
+        The base implementation loops; matchers with a batched inference
+        path (MMA) override it to amortise encoding and model cost while
+        returning the same matches per trajectory.
+        """
+        return [self.match_points(t) for t in trajectories]
+
+    def match_many(
+        self, trajectories: Sequence[Trajectory], batch_size: int = 32
+    ) -> List[List[int]]:
+        """Routes for many trajectories via :meth:`match_points_many`;
+        stitching reuses the planner's route cache across trajectories."""
+        return [
+            self.stitch(segments)
+            for segments in self.match_points_many(
+                trajectories, batch_size=batch_size
+            )
+        ]
 
     #: Extra travel (metres) a matched segment may add before the stitcher
     #: treats it as an outlier and routes around it.

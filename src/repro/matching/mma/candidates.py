@@ -20,24 +20,71 @@ from ...network.road_network import RoadNetwork
 DEFAULT_KC = 10
 
 
+def _pad_candidates(
+    hits: List[Tuple[int, float]], k_c: int, point_index: int
+) -> List[Tuple[int, float]]:
+    """Pad a candidate list to width ``k_c`` by repeating the last hit.
+
+    The duplicate rows carry identical features and cannot change the argmax.
+    """
+    if not hits:
+        raise RuntimeError(
+            f"cannot build candidate set for GPS point {point_index}: "
+            "road network has no segments"
+        )
+    if len(hits) < k_c:
+        hits = hits + [hits[-1]] * (k_c - len(hits))
+    return hits
+
+
 def candidate_sets(
     network: RoadNetwork, trajectory: Trajectory, k_c: int = DEFAULT_KC
 ) -> List[List[Tuple[int, float]]]:
     """Top-``k_c`` nearest segments (id, distance) for every GPS point.
 
     When the network has fewer than ``k_c`` segments near the point the last
-    candidate is repeated so downstream tensors keep a fixed width; the
-    duplicate rows carry identical features and cannot change the argmax.
+    candidate is repeated so downstream tensors keep a fixed width.
     """
-    sets = []
-    for p in trajectory:
-        hits = network.nearest_segments(p.x, p.y, k=k_c)
-        if not hits:
-            raise RuntimeError("empty road network")
-        while len(hits) < k_c:
-            hits.append(hits[-1])
-        sets.append(hits)
-    return sets
+    return [
+        _pad_candidates(network.nearest_segments(p.x, p.y, k=k_c), k_c, i)
+        for i, p in enumerate(trajectory)
+    ]
+
+
+def candidate_sets_batch(
+    network: RoadNetwork,
+    trajectories: Sequence[Trajectory],
+    k_c: int = DEFAULT_KC,
+) -> List[List[List[Tuple[int, float]]]]:
+    """Candidate sets for many trajectories via one bulk k-NN pass.
+
+    Concatenates every GPS point across ``trajectories`` into a single
+    ``(N, 2)`` query, answers it with
+    :meth:`~repro.network.road_network.RoadNetwork.nearest_segments_batch`
+    (bit-identical per-point results), then splits the answers back per
+    trajectory with the same padding as :func:`candidate_sets`.
+    """
+    trajectories = list(trajectories)
+    lengths = [len(t) for t in trajectories]
+    total = sum(lengths)
+    if total == 0:
+        return [[] for _ in trajectories]
+    xy = np.empty((total, 2), dtype=np.float64)
+    pos = 0
+    for trajectory in trajectories:
+        for p in trajectory:
+            xy[pos, 0] = p.x
+            xy[pos, 1] = p.y
+            pos += 1
+    flat = network.nearest_segments_batch(xy, k=k_c)
+    out: List[List[List[Tuple[int, float]]]] = []
+    pos = 0
+    for n in lengths:
+        out.append(
+            [_pad_candidates(flat[pos + i], k_c, i) for i in range(n)]
+        )
+        pos += n
+    return out
 
 
 def candidate_hit_ratio(
@@ -53,9 +100,12 @@ def candidate_hit_ratio(
     k_max = max(kc_values)
     hits_at: Dict[int, int] = {k: 0 for k in kc_values}
     total = 0
-    for sample in samples:
-        for p, gt_edge in zip(sample.sparse, sample.gt_segments):
-            ranked = [e for e, _ in network.nearest_segments(p.x, p.y, k=k_max)]
+    ranked_sets = candidate_sets_batch(
+        network, [sample.sparse for sample in samples], k_max
+    )
+    for sample, sets in zip(samples, ranked_sets):
+        for gt_edge, hits in zip(sample.gt_segments, sets):
+            ranked = [e for e, _ in hits]
             total += 1
             for k in kc_values:
                 if gt_edge in ranked[:k]:
@@ -70,10 +120,13 @@ def mean_distance_to_rank(
 ) -> float:
     """Average distance from GPS points to their ``rank``-th nearest segment
     (the paper reports ~82-122 m for rank 10 to argue k_c = 10 suffices)."""
-    distances = []
-    for sample in samples:
-        for p in sample.sparse:
-            hits = network.nearest_segments(p.x, p.y, k=rank)
-            if len(hits) >= rank:
-                distances.append(hits[rank - 1][1])
+    points = [p for sample in samples for p in sample.sparse]
+    if not points:
+        return 0.0
+    xy = np.array([[p.x, p.y] for p in points])
+    distances = [
+        hits[rank - 1][1]
+        for hits in network.nearest_segments_batch(xy, k=rank)
+        if len(hits) >= rank
+    ]
     return float(np.mean(distances)) if distances else 0.0

@@ -15,19 +15,26 @@ Per trajectory, MMA consumes:
   scale the distance feature supplies that geometry directly (recorded as a
   deviation in EXPERIMENTS.md; disable with ``use_distance_feature=False``
   for the faithful variant).
+
+Encoding is fully vectorised: :meth:`MMAFeatureEncoder.encode_batch` builds
+the ``(N, k_c, F)`` feature tensor for *all* points of *all* trajectories in
+one NumPy pass over a single bulk k-NN query (no per-candidate Python loop).
+:meth:`MMAFeatureEncoder.encode` is the one-trajectory special case of the
+same kernel, and :meth:`MMAFeatureEncoder.encode_reference` keeps the
+original scalar loop as the oracle the parity tests compare against.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import List, Sequence
 
 import numpy as np
 
 from ...data.trajectory import Trajectory
 from ...geometry.segments import directional_features
 from ...network.road_network import RoadNetwork
-from .candidates import DEFAULT_KC, candidate_sets
+from .candidates import DEFAULT_KC, candidate_sets, candidate_sets_batch
 
 
 @dataclass
@@ -48,8 +55,66 @@ class EncodedTrajectory:
         return self.candidate_ids.shape[1]
 
 
+@dataclass
+class EncodedBatch:
+    """A stack of same-length encoded trajectories (leading batch axis).
+
+    Batches are built by *same-length bucketing*, never padding: padded
+    reductions regroup floating-point sums and break the bit-exact parity
+    guarantee between the batched and per-sample model paths.
+    """
+
+    point_features: np.ndarray  # (b, l, 3)
+    candidate_ids: np.ndarray  # (b, l, k_c) int
+    candidate_directions: np.ndarray  # (b, l, k_c, F)
+    candidate_distances: np.ndarray  # (b, l, k_c)
+
+    @property
+    def batch_size(self) -> int:
+        return self.point_features.shape[0]
+
+    @property
+    def length(self) -> int:
+        return self.point_features.shape[1]
+
+    @property
+    def k_c(self) -> int:
+        return self.candidate_ids.shape[2]
+
+
+def stack_encoded(encoded: Sequence[EncodedTrajectory]) -> EncodedBatch:
+    """Stack same-length encodings along a new leading batch axis."""
+    lengths = {e.length for e in encoded}
+    if len(lengths) != 1:
+        raise ValueError(
+            f"cannot stack encodings of mixed lengths {sorted(lengths)}; "
+            "bucket trajectories by length first"
+        )
+    return EncodedBatch(
+        point_features=np.stack([e.point_features for e in encoded]),
+        candidate_ids=np.stack([e.candidate_ids for e in encoded]),
+        candidate_directions=np.stack(
+            [e.candidate_directions for e in encoded]
+        ),
+        candidate_distances=np.stack(
+            [e.candidate_distances for e in encoded]
+        ),
+    )
+
+
 #: Normalisation scale (metres) for the perpendicular-distance feature.
 DISTANCE_SCALE_M = 20.0
+
+
+def _cosine_rows(u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`repro.geometry.points.cosine_similarity` over the
+    trailing (x, y) axis, with the same zero-vector convention."""
+    nu = np.hypot(u[..., 0], u[..., 1])
+    nv = np.hypot(v[..., 0], v[..., 1])
+    dot = u[..., 0] * v[..., 0] + u[..., 1] * v[..., 1]
+    valid = (nu >= 1e-12) & (nv >= 1e-12)
+    denom = np.where(valid, nu * nv, 1.0)
+    return np.where(valid, dot / denom, 0.0)
 
 
 class MMAFeatureEncoder:
@@ -87,6 +152,78 @@ class MMAFeatureEncoder:
         return np.asarray(rows)
 
     def encode(self, trajectory: Trajectory) -> EncodedTrajectory:
+        return self.encode_batch([trajectory])[0]
+
+    def encode_batch(
+        self, trajectories: Sequence[Trajectory]
+    ) -> List[EncodedTrajectory]:
+        """Encode many trajectories in one vectorised pass.
+
+        All candidate features come out of a single bulk k-NN query plus a
+        handful of array operations over the flattened ``(N, k_c)`` point ×
+        candidate grid, so cost per point is a few vector ops instead of
+        ``k_c`` Python-level geometry calls.
+        """
+        trajectories = list(trajectories)
+        if not trajectories:
+            return []
+        sets = candidate_sets_batch(self.network, trajectories, self.k_c)
+        lengths = [len(t) for t in trajectories]
+        total = sum(lengths)
+
+        xy = np.empty((total, 2))
+        incoming = np.zeros((total, 2))  # prev→point, zero at boundaries
+        outgoing = np.zeros((total, 2))  # point→next, zero at boundaries
+        offset = 0
+        for trajectory, n in zip(trajectories, lengths):
+            block = np.array([[p.x, p.y] for p in trajectory]).reshape(n, 2)
+            xy[offset : offset + n] = block
+            if n > 1:
+                steps = block[1:] - block[:-1]
+                incoming[offset + 1 : offset + n] = steps
+                outgoing[offset : offset + n - 1] = steps
+            offset += n
+
+        flat_sets = [hits for per_traj in sets for hits in per_traj]
+        ids = np.array(
+            [[e for e, _ in hits] for hits in flat_sets], dtype=np.int64
+        ).reshape(total, self.k_c)
+        dists = np.array(
+            [[d for _, d in hits] for hits in flat_sets]
+        ).reshape(total, self.k_c)
+
+        entrance, exit_ = self.network.segment_endpoints(ids)  # (N, k, 2)
+        seg_vec = exit_ - entrance
+        to_point = xy[:, None, :] - entrance
+        to_exit = exit_ - xy[:, None, :]
+        dirs = np.empty((total, self.k_c, self.n_geometric_features))
+        dirs[..., 0] = _cosine_rows(seg_vec, to_point)
+        dirs[..., 1] = _cosine_rows(seg_vec, to_exit)
+        dirs[..., 2] = _cosine_rows(seg_vec, incoming[:, None, :])
+        dirs[..., 3] = _cosine_rows(seg_vec, outgoing[:, None, :])
+        if self.use_distance_feature:
+            dirs[..., 4] = dists / DISTANCE_SCALE_M
+
+        out: List[EncodedTrajectory] = []
+        offset = 0
+        for trajectory, n in zip(trajectories, lengths):
+            out.append(
+                EncodedTrajectory(
+                    point_features=self.normalise_points(trajectory),
+                    candidate_ids=ids[offset : offset + n].copy(),
+                    candidate_directions=dirs[offset : offset + n].copy(),
+                    candidate_distances=dists[offset : offset + n].copy(),
+                )
+            )
+            offset += n
+        return out
+
+    def encode_reference(self, trajectory: Trajectory) -> EncodedTrajectory:
+        """Original scalar encoding loop, kept as the parity-test oracle.
+
+        Candidate selection is bit-identical to :meth:`encode`; the cosine
+        features may differ by an ulp (``math.hypot`` vs ``np.hypot``).
+        """
         sets = candidate_sets(self.network, trajectory, self.k_c)
         length = len(trajectory)
         ids = np.zeros((length, self.k_c), dtype=np.int64)

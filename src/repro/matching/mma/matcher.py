@@ -8,7 +8,9 @@ with Adam (lr 1e-3, as in the paper's setup).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from ...data.trajectory import Trajectory
 from ...network.node2vec import Node2VecConfig, train_node2vec
@@ -19,8 +21,17 @@ from ...utils.rng import SeedLike, make_rng
 from ..base import MapMatcher
 from ...nn.tensor import no_grad
 from .candidates import DEFAULT_KC
-from .features import MMAFeatureEncoder
+from .features import MMAFeatureEncoder, stack_encoded
 from .model import MMAModel
+
+
+def _length_buckets(lengths: Sequence[int]) -> List[List[int]]:
+    """Indices grouped by trajectory length, preserving dataset order within
+    each group (same-length bucketing keeps batched runs bit-identical)."""
+    buckets: Dict[int, List[int]] = {}
+    for i, length in enumerate(lengths):
+        buckets.setdefault(length, []).append(i)
+    return list(buckets.values())
 
 
 class MMAMatcher(MapMatcher):
@@ -69,37 +80,59 @@ class MMAMatcher(MapMatcher):
 
     # ---------------------------------------------------------------- training
 
-    def fit_epoch(self, dataset) -> float:
-        """One epoch of Eq. 10 over the training split; returns mean loss."""
+    def fit_epoch(self, dataset, batch_size: int = 1) -> float:
+        """One epoch of Eq. 10 over the training split; returns mean loss.
+
+        With ``batch_size=1`` (default) this is classic per-sample SGD, one
+        Adam step per trajectory.  With ``batch_size>1`` same-length buckets
+        are stacked and each chunk takes a single Adam step over the batched
+        forward pass (mini-batch SGD): fewer, larger steps whose per-chunk
+        loss is the mean over the chunk's samples.
+        """
         self.model.train()
+        if batch_size <= 1:
+            total, count = 0.0, 0
+            for sample in dataset.train:
+                encoded = self.encoder.encode(sample.sparse)
+                labels = self.encoder.labels(encoded, sample.gt_segments)
+                logits = self.model(encoded)
+                loss = bce_with_logits(logits, labels)
+                self.optimizer.zero_grad()
+                loss.backward()
+                self.optimizer.step()
+                total += loss.item()
+                count += 1
+            return total / max(count, 1)
+
+        samples = list(dataset.train)
+        encoded = self.encoder.encode_batch([s.sparse for s in samples])
+        labels = [
+            self.encoder.labels(e, s.gt_segments)
+            for e, s in zip(encoded, samples)
+        ]
         total, count = 0.0, 0
-        for sample in dataset.train:
-            encoded = self.encoder.encode(sample.sparse)
-            labels = self.encoder.labels(encoded, sample.gt_segments)
-            logits = self.model(encoded)
-            loss = bce_with_logits(logits, labels)
-            self.optimizer.zero_grad()
-            loss.backward()
-            self.optimizer.step()
-            total += loss.item()
-            count += 1
+        for indices in _length_buckets([e.length for e in encoded]):
+            for start in range(0, len(indices), batch_size):
+                chunk = indices[start : start + batch_size]
+                batch = stack_encoded([encoded[i] for i in chunk])
+                y = np.stack([labels[i] for i in chunk])
+                logits = self.model.forward_batch(batch)
+                loss = bce_with_logits(logits, y)
+                self.optimizer.zero_grad()
+                loss.backward()
+                self.optimizer.step()
+                total += loss.item() * len(chunk)
+                count += len(chunk)
         return total / max(count, 1)
 
-    def fit(self, dataset, epochs: int = 5) -> "MMAMatcher":
+    def fit(self, dataset, epochs: int = 5, batch_size: int = 1) -> "MMAMatcher":
         for _ in range(epochs):
-            self.fit_epoch(dataset)
+            self.fit_epoch(dataset, batch_size=batch_size)
         return self
 
     def validation_accuracy(self, dataset) -> float:
         """Fraction of validation GPS points matched to their true segment."""
-        self.model.eval()
-        correct, total = 0, 0
-        for sample in dataset.val:
-            predicted = self.match_points(sample.sparse)
-            for p, gt in zip(predicted, sample.gt_segments):
-                correct += int(p == gt)
-                total += 1
-        return correct / max(total, 1)
+        return self.validation_point_accuracy(dataset)
 
     # --------------------------------------------------------------- matching
 
@@ -108,3 +141,27 @@ class MMAMatcher(MapMatcher):
         encoded = self.encoder.encode(trajectory)
         with no_grad():
             return [int(e) for e in self.model.predict_segments(encoded)]
+
+    def match_points_many(
+        self, trajectories: Sequence[Trajectory], batch_size: int = 32
+    ) -> List[List[int]]:
+        """Batched form of :meth:`match_points`: one bulk feature encoding,
+        then one model forward per same-length chunk.
+
+        Matches are bit-identical to per-trajectory :meth:`match_points`
+        calls — batching only removes per-sample overhead (see
+        :meth:`MMAModel.forward_batch`).
+        """
+        self.model.eval()
+        trajectories = list(trajectories)
+        encoded = self.encoder.encode_batch(trajectories)
+        results: List[List[int]] = [[] for _ in encoded]
+        with no_grad():
+            for indices in _length_buckets([e.length for e in encoded]):
+                for start in range(0, len(indices), max(batch_size, 1)):
+                    chunk = indices[start : start + max(batch_size, 1)]
+                    batch = stack_encoded([encoded[i] for i in chunk])
+                    predictions = self.model.predict_segments_batch(batch)
+                    for i, row in zip(chunk, predictions):
+                        results[i] = [int(e) for e in row]
+        return results

@@ -36,7 +36,7 @@ from ...nn import (
     softmax,
 )
 from ...utils.rng import SeedLike, make_rng
-from .features import EncodedTrajectory
+from .features import EncodedBatch, EncodedTrajectory
 
 
 class MMAModel(Module):
@@ -133,3 +133,60 @@ class MMAModel(Module):
         logits = self.forward(encoded).data
         best = logits.argmax(axis=1)
         return encoded.candidate_ids[np.arange(len(best)), best]
+
+    # ------------------------------------------------------- batched forward
+    #
+    # The batched path stacks a same-length bucket of trajectories along a
+    # leading batch axis and runs every layer once over the stack.  Each
+    # matmul then sees per-slice operands of exactly the shapes the
+    # per-sample path uses (batched N-D matmul evaluates per slice), and all
+    # reductions keep their per-sample extents — so the logits are
+    # *bit-identical* to running ``forward`` per trajectory, only with the
+    # Python/layer overhead paid once per bucket instead of once per sample.
+
+    def candidate_embeddings_batch(self, batch: EncodedBatch) -> Tensor:
+        """Candidate embeddings ``c_j`` of shape (b, l, k_c, d2)."""
+        b, l, k = batch.candidate_ids.shape
+        seg = self.segment_embedding(batch.candidate_ids.reshape(b, l * k))
+        directions = batch.candidate_directions.reshape(
+            b, l * k, self.n_geometric_features
+        )
+        if not self.use_directional:
+            directions = directions.copy()
+            directions[:, :, :4] = 0.0
+        z = concat([seg, Tensor(directions)], axis=-1)
+        c = self.candidate_mlp(z)  # (b, l*k, d2)
+        return c.reshape(b, l, k, self.d2)
+
+    def point_embeddings_batch(
+        self, batch: EncodedBatch, candidates: Tensor
+    ) -> Tensor:
+        """Point embeddings ``p_i`` of shape (b, l, d2) (Eq. 3, 7, 8)."""
+        b, l, k = batch.candidate_ids.shape
+        z1 = self.point_fc(Tensor(batch.point_features))  # (b, l, d2)
+        z2 = self.transformer(z1)  # (b, l, d2)
+        if not self.use_context:
+            return z2
+        z2_tiled = z2.reshape(b, l, 1, self.d2) * Tensor(np.ones((1, 1, k, 1)))
+        pair = concat([z2_tiled, candidates], axis=-1)  # (b, l, k, 2*d2)
+        scores = self.attention_mlp(pair.reshape(b, l * k, 2 * self.d2))
+        alpha = softmax(scores.reshape(b, l, k, 1), axis=2)
+        context = (alpha * candidates).sum(axis=2)  # (b, l, d2)
+        return z2 + context  # Eq. 8
+
+    def forward_batch(self, batch: EncodedBatch) -> Tensor:
+        """Per-candidate logits of shape (b, l, k_c) for a same-length
+        bucket; bit-identical to per-sample :meth:`forward` calls."""
+        candidates = self.candidate_embeddings_batch(batch)
+        points = self.point_embeddings_batch(batch, candidates)
+        b, l, k = batch.candidate_ids.shape
+        points_tiled = points.reshape(b, l, 1, self.d2)
+        return (candidates * points_tiled).sum(axis=-1)  # (b, l, k)
+
+    def predict_segments_batch(self, batch: EncodedBatch) -> np.ndarray:
+        """Matched segment ids of shape (b, l) for a same-length bucket."""
+        logits = self.forward_batch(batch).data
+        best = logits.argmax(axis=2)
+        return np.take_along_axis(batch.candidate_ids, best[..., None], axis=2)[
+            ..., 0
+        ]

@@ -30,6 +30,7 @@ from ..geometry.segments import (
     project_ratio,
 )
 from ..spatial.rtree import STRtree
+from .cache import LRUCache
 
 
 @dataclass(frozen=True)
@@ -88,16 +89,27 @@ class RoadNetwork:
         self._edge_index: Dict[Tuple[int, int], int] = {
             (s.u, s.v): s.edge_id for s in self.segments
         }
+        # Segment-to-successors fan-out table: one shared list per segment,
+        # precomputed so the routing hot loops avoid per-call indirection.
+        self.successor_table: List[List[int]] = [
+            self.out_edges[s.v] for s in self.segments
+        ]
+        #: LRU memo for :func:`repro.network.shortest_path.
+        #: route_between_segments` — stitching R across consecutive matched
+        #: segments repeats the same OD pairs constantly (Algorithm 1).
+        self.route_cache = LRUCache(capacity=100_000)
         self._rtree = STRtree([g.bbox() for g in self._geometry]) if edges else None
         # Vectorised segment geometry for the brute-force k-NN fast path.
         if edges:
             a = np.array([[g.ax, g.ay] for g in self._geometry])
             b = np.array([[g.bx, g.by] for g in self._geometry])
             self._seg_a = a
+            self._seg_b = b
             self._seg_d = b - a
             self._seg_len2 = np.maximum((self._seg_d**2).sum(axis=1), 1e-18)
         else:
             self._seg_a = np.zeros((0, 2))
+            self._seg_b = np.zeros((0, 2))
             self._seg_d = np.zeros((0, 2))
             self._seg_len2 = np.zeros(0)
         #: Optional per-node traffic-signal flags (OSM ``highway=
@@ -129,7 +141,7 @@ class RoadNetwork:
 
     def successors(self, edge_id: int) -> List[int]:
         """Segments whose entrance is this segment's exit node."""
-        return self.out_edges[self.segments[edge_id].v]
+        return self.successor_table[edge_id]
 
     def predecessors(self, edge_id: int) -> List[int]:
         """Segments whose exit is this segment's entrance node."""
@@ -173,6 +185,28 @@ class RoadNetwork:
         closest = self._seg_a + t[:, None] * self._seg_d
         return np.sqrt(((closest - p) ** 2).sum(axis=1))
 
+    def all_segment_distances_batch(self, xy: np.ndarray) -> np.ndarray:
+        """Distances from N planar points to every segment, shape (N, M).
+
+        Elementwise ops mirror :meth:`all_segment_distances` exactly, so each
+        row is bit-identical to the per-point computation.
+        """
+        xy = np.asarray(xy, dtype=np.float64)
+        t = ((xy[:, None, :] - self._seg_a[None]) * self._seg_d[None]).sum(
+            axis=2
+        ) / self._seg_len2[None]
+        t = np.clip(t, 0.0, 1.0)
+        closest = self._seg_a[None] + t[:, :, None] * self._seg_d[None]
+        return np.sqrt(((closest - xy[:, None, :]) ** 2).sum(axis=2))
+
+    @staticmethod
+    def _topk_of_row(distances: np.ndarray, k: int) -> List[Tuple[int, float]]:
+        """Top-k selection of one distance row, tie-broken by segment id."""
+        top = np.argpartition(distances, k - 1)[:k]
+        order = top[np.argsort(distances[top], kind="stable")]
+        result = sorted(((float(distances[i]), int(i)) for i in order))
+        return [(i, d) for d, i in result]
+
     def nearest_segments(
         self, x: float, y: float, k: int = 1
     ) -> List[Tuple[int, float]]:
@@ -184,15 +218,60 @@ class RoadNetwork:
             return []
         if self.n_segments <= self.BRUTE_FORCE_LIMIT:
             distances = self.all_segment_distances(x, y)
-            k = min(k, self.n_segments)
-            top = np.argpartition(distances, k - 1)[:k]
-            order = top[np.argsort(distances[top], kind="stable")]
             # Deterministic tie-breaking by segment id, matching the R-tree.
-            result = sorted(
-                ((float(distances[i]), int(i)) for i in order),
-            )
-            return [(i, d) for d, i in result]
+            return self._topk_of_row(distances, min(k, self.n_segments))
         return self._rtree.nearest(x, y, k=k, distance_fn=self.segment_distance)
+
+    #: Query-chunk size bounding the (chunk, M) distance-matrix memory of the
+    #: bulk k-NN path.
+    KNN_CHUNK = 512
+
+    def nearest_segments_batch(
+        self, xy: np.ndarray, k: int = 1
+    ) -> List[List[Tuple[int, float]]]:
+        """Bulk form of :meth:`nearest_segments`: top-``k`` candidates for N
+        query points in one vectorised pass (bit-identical per-point results).
+
+        This is the amortised candidate-set query feeding MMA's batched
+        feature encoding: one (N, M) distance matrix replaces N separate
+        scans, so the per-query Python overhead disappears.
+        """
+        xy = np.asarray(xy, dtype=np.float64).reshape(-1, 2)
+        n = xy.shape[0]
+        if self._rtree is None or n == 0:
+            return [[] for _ in range(n)]
+        if self.n_segments <= self.BRUTE_FORCE_LIMIT:
+            kk = min(k, self.n_segments)
+            sets: List[List[Tuple[int, float]]] = []
+            for start in range(0, n, self.KNN_CHUNK):
+                block = self.all_segment_distances_batch(xy[start : start + self.KNN_CHUNK])
+                sets.extend(self._topk_of_row(row, kk) for row in block)
+            return sets
+
+        def batch_distance(ids: np.ndarray, x: float, y: float) -> np.ndarray:
+            a, d = self._seg_a[ids], self._seg_d[ids]
+            p = np.array([x, y])
+            t = ((p - a) * d).sum(axis=1) / self._seg_len2[ids]
+            t = np.clip(t, 0.0, 1.0)
+            closest = a + t[:, None] * d
+            return np.sqrt(((closest - p) ** 2).sum(axis=1))
+
+        return self._rtree.nearest_batch(
+            xy[:, 0], xy[:, 1], k=k, batch_distance_fn=batch_distance
+        )
+
+    def segment_endpoints(
+        self, edge_ids: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(entrance, exit) coordinate arrays for an array of segment ids.
+
+        Gathers from the precomputed per-segment coordinate tables, so the
+        outputs carry exactly the node coordinates (no recomputation) —
+        vectorised feature encoding relies on this for bitwise parity with
+        the scalar :class:`~repro.geometry.segments.SegmentGeometry` path.
+        """
+        ids = np.asarray(edge_ids, dtype=np.int64)
+        return self._seg_a[ids], self._seg_b[ids]
 
     def project_onto(self, edge_id: int, x: float, y: float) -> float:
         """Position ratio of the orthogonal projection of (x, y) onto ``edge_id``."""

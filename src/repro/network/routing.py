@@ -16,6 +16,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from .cache import CacheInfo, LRUCache
 from .road_network import RoadNetwork
 from .shortest_path import route_between_segments
 
@@ -28,6 +29,12 @@ class TransitionStatistics:
         self.smoothing = smoothing
         self._counts: Dict[Tuple[int, int], float] = {}
         self._totals: Dict[int, float] = {}
+        # Per-segment fan-out table: probability() sits inside the planner's
+        # Dijkstra loop, so the successor-list length is looked up once here
+        # instead of being recomputed on every call.
+        self._fanout: List[int] = [
+            len(successors) for successors in network.successor_table
+        ]
 
     def fit(self, routes: Iterable[Sequence[int]]) -> "TransitionStatistics":
         """Accumulate transitions from historical routes (segment-id paths)."""
@@ -35,11 +42,16 @@ class TransitionStatistics:
             for a, b in zip(route, route[1:]):
                 self._counts[(a, b)] = self._counts.get((a, b), 0.0) + 1.0
                 self._totals[a] = self._totals.get(a, 0.0) + 1.0
+        # Refresh the fan-out table (cheap) in case the caller fitted the
+        # statistics against a different-but-compatible network object.
+        self._fanout = [
+            len(successors) for successors in self.network.successor_table
+        ]
         return self
 
     def probability(self, from_edge: int, to_edge: int) -> float:
         """Smoothed P(to_edge | from_edge) among the successors of from_edge."""
-        fanout = len(self.network.successors(from_edge))
+        fanout = self._fanout[from_edge]
         if fanout == 0:
             return 0.0
         count = self._counts.get((from_edge, to_edge), 0.0)
@@ -67,33 +79,43 @@ class DARoutePlanner:
     (needed with very low probability, e.g. 0.06% on PT in the paper).
     """
 
+    #: Default capacity of the plan memo (an LRU so city-scale runs stay
+    #: bounded; 100k OD pairs cover a BENCH test split many times over).
+    ROUTE_CACHE_CAPACITY = 100_000
+
     def __init__(
         self,
         network: RoadNetwork,
         statistics: Optional[TransitionStatistics] = None,
         max_route_length: int = 500,
         tau: float = 30.0,
+        route_cache_capacity: int = ROUTE_CACHE_CAPACITY,
     ) -> None:
         self.network = network
         self.statistics = statistics
         self.max_route_length = max_route_length
         self.tau = tau
         self.fallbacks = 0  # number of plans that needed the exact fallback
-        self._cache: dict = {}
+        self._cache = LRUCache(capacity=route_cache_capacity)
         self._cost_cache: dict = {}
+
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss counters of the plan memo (Figs. 5/9 efficiency probes)."""
+        return self._cache.info()
 
     def plan(self, from_edge: int, to_edge: int) -> List[int]:
         """Route (connected segment sequence) from ``from_edge`` to ``to_edge``.
 
-        Plans are deterministic and memoised — repeated stitching of the same
-        segment pairs (common across a test set) hits the cache.
+        Plans are deterministic and memoised in a bounded LRU — repeated
+        stitching of the same segment pairs (common across a test set) hits
+        the cache instead of re-running the bounded Dijkstra.
         """
         key = (from_edge, to_edge)
         cached = self._cache.get(key)
         if cached is not None:
             return list(cached)
         route = self._plan_uncached(from_edge, to_edge)
-        self._cache[key] = tuple(route)
+        self._cache.put(key, tuple(route))
         return route
 
     def travel_distance(self, from_edge: int, to_edge: int) -> float:
@@ -138,6 +160,7 @@ class DARoutePlanner:
         parent: dict = {}
         heap: List[Tuple[float, int]] = [(0.0, from_edge)]
         settled = set()
+        successor_table = self.network.successor_table  # precomputed fan-out
         while heap and len(settled) < self.max_route_length:
             d, edge = heapq.heappop(heap)
             if edge in settled:
@@ -149,7 +172,7 @@ class DARoutePlanner:
                     route.append(parent[route[-1]])
                 route.reverse()
                 return route
-            for succ in self.network.successors(edge):
+            for succ in successor_table[edge]:
                 nd = d + self._transition_cost(edge, succ)
                 if nd < dist.get(succ, math.inf):
                     dist[succ] = nd

@@ -112,6 +112,9 @@ def astar(
     return None
 
 
+_CACHE_MISS = object()
+
+
 def route_between_segments(
     network: RoadNetwork, from_edge: int, to_edge: int, max_cost: float = INF
 ) -> Optional[List[int]]:
@@ -121,17 +124,29 @@ def route_between_segments(
     Returns ``[from_edge]`` when the two are the same segment, and ``None``
     when no connection exists within ``max_cost`` metres of intermediate
     travel.
+
+    Results are memoised in ``network.route_cache`` (LRU): route stitching
+    and planner fallbacks re-query the same OD pairs constantly, and the
+    Dijkstra behind each miss is the dominant cost of stitching.
     """
     if from_edge == to_edge:
         return [from_edge]
+    cache = network.route_cache
+    key = (from_edge, to_edge, max_cost)
+    cached = cache.get(key, _CACHE_MISS)
+    if cached is not _CACHE_MISS:
+        return list(cached) if cached is not None else None
     seg_from = network.segments[from_edge]
     seg_to = network.segments[to_edge]
     if seg_from.v == seg_to.u:
-        return [from_edge, to_edge]
-    middle = node_shortest_path(network, seg_from.v, seg_to.u, max_cost=max_cost)
-    if middle is None:
-        return None
-    return [from_edge, *middle, to_edge]
+        route: Optional[List[int]] = [from_edge, to_edge]
+    else:
+        middle = node_shortest_path(
+            network, seg_from.v, seg_to.u, max_cost=max_cost
+        )
+        route = None if middle is None else [from_edge, *middle, to_edge]
+    cache.put(key, tuple(route) if route is not None else None)
+    return route
 
 
 def route_gap_distance(

@@ -1,9 +1,11 @@
 """Scaled dot-product and multi-head attention (Eq. 4).
 
-Sequences are 2-D tensors of shape ``(seq_len, dim)`` — the library trains
-trajectory-by-trajectory, so there is no padding/batching machinery to get
-wrong.  Multi-head attention reshapes to ``(heads, seq, head_dim)`` and uses
-the batched matmul of the autograd engine.
+Sequences are tensors of shape ``(..., seq_len, dim)``: a single trajectory
+is ``(seq_len, dim)`` and a same-length bucket stacks a leading batch axis
+(``(batch, seq_len, dim)``) — never padding, so there is no masking
+machinery to get wrong and the batched path stays bit-identical to the
+per-sample one.  Multi-head attention reshapes to ``(..., heads, seq,
+head_dim)`` and uses the batched matmul of the autograd engine.
 """
 
 from __future__ import annotations
@@ -50,18 +52,20 @@ class MultiHeadAttention(Module):
         self.w_v = Linear(dim, dim, seed=rng)
         self.w_o = Linear(dim, dim, seed=rng)
 
-    def _split_heads(self, x: Tensor, seq_len: int) -> Tensor:
-        # (seq, dim) -> (heads, seq, head_dim)
-        return x.reshape(seq_len, self.n_heads, self.head_dim).swapaxes(0, 1)
+    def _split_heads(self, x: Tensor) -> Tensor:
+        # (..., seq, dim) -> (..., heads, seq, head_dim)
+        split = x.reshape(*x.shape[:-1], self.n_heads, self.head_dim)
+        return split.swapaxes(-3, -2)
 
     def forward(
         self, query: Tensor, key: Tensor, value: Tensor,
         mask: Optional[np.ndarray] = None,
     ) -> Tensor:
-        q_len, k_len = query.shape[0], key.shape[0]
-        q = self._split_heads(self.w_q(query), q_len)
-        k = self._split_heads(self.w_k(key), k_len)
-        v = self._split_heads(self.w_v(value), k_len)
+        q = self._split_heads(self.w_q(query))
+        k = self._split_heads(self.w_k(key))
+        v = self._split_heads(self.w_v(value))
         attended = scaled_dot_product_attention(q, k, v, mask=mask)
-        merged = attended.swapaxes(0, 1).reshape(q_len, self.dim)
+        # (..., heads, q_len, head_dim) -> (..., q_len, dim)
+        merged = attended.swapaxes(-3, -2)
+        merged = merged.reshape(*merged.shape[:-2], self.dim)
         return self.w_o(merged)

@@ -64,7 +64,7 @@ class TransformerEncoderLayer(Module):
 
 
 class TransformerEncoder(Module):
-    """Stack of encoder layers over a ``(seq_len, dim)`` sequence.
+    """Stack of encoder layers over a ``(..., seq_len, dim)`` sequence.
 
     Adds sinusoidal positional encodings before the first layer (the order
     of GPS points / route segments matters to both MMA and TRMMA).
@@ -93,7 +93,7 @@ class TransformerEncoder(Module):
 
     def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
         if self.use_positional:
-            x = x + Tensor(sinusoidal_positions(x.shape[0], self.dim))
+            x = x + Tensor(sinusoidal_positions(x.shape[-2], self.dim))
         for layer in self.layers:
             x = layer(x, mask=mask)
         return x

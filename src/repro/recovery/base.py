@@ -55,6 +55,19 @@ class TrajectoryRecoverer:
         """Recover the map-matched ε-sampling trajectory of ``trajectory``."""
         raise NotImplementedError
 
+    def recover_many(
+        self,
+        trajectories: List[Trajectory],
+        epsilon: float,
+        batch_size: int = 32,
+    ) -> List[MatchedTrajectory]:
+        """Recover many trajectories; the base implementation loops.
+
+        Recoverers with a batched pipeline (TRMMA) override this to batch
+        the matcher stage while producing the same outputs per trajectory.
+        """
+        return [self.recover(t, epsilon) for t in trajectories]
+
     # ------------------------------------------------- validation / snapshot
 
     def _trainable_modules(self) -> List[Module]:

@@ -12,9 +12,9 @@ the sparse trajectory.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence
 
-from ...data.trajectory import MatchedTrajectory, Trajectory
+from ...data.trajectory import MapMatchedPoint, MatchedTrajectory, Trajectory
 from ...matching.base import MapMatcher
 from ...network.road_network import RoadNetwork
 from ...nn import Adam
@@ -63,30 +63,58 @@ class TRMMARecoverer(TrajectoryRecoverer):
 
     # ---------------------------------------------------------------- training
 
-    def fit_epoch(self, dataset) -> float:
-        """One teacher-forced epoch of Eq. 21 over the training split."""
+    def fit_epoch(self, dataset, batch_size: int = 1) -> float:
+        """One teacher-forced epoch of Eq. 21 over the training split.
+
+        With ``batch_size=1`` (default) each sample takes its own Adam step.
+        With ``batch_size>1`` losses are scaled by ``1/len(chunk)`` and
+        gradients *accumulated* across the chunk before a single step —
+        mini-batch SGD without batching the (autoregressive) decoder itself.
+        """
         self.model.train()
         total, count = 0.0, 0
-        for sample in dataset.train:
-            example = build_example(self.network, sample)
-            loss = self.model.training_loss(example)
-            if loss.size and float(loss.data) > 0.0:
-                self.optimizer.zero_grad()
-                loss.backward()
+        if batch_size <= 1:
+            for sample in dataset.train:
+                example = build_example(self.network, sample)
+                loss = self.model.training_loss(example)
+                if loss.size and float(loss.data) > 0.0:
+                    self.optimizer.zero_grad()
+                    loss.backward()
+                    self.optimizer.step()
+                total += float(loss.data)
+                count += 1
+            return total / max(count, 1)
+
+        samples = list(dataset.train)
+        for start in range(0, len(samples), batch_size):
+            chunk = samples[start : start + batch_size]
+            self.optimizer.zero_grad()
+            stepped = False
+            for sample in chunk:
+                example = build_example(self.network, sample)
+                loss = self.model.training_loss(example)
+                if loss.size and float(loss.data) > 0.0:
+                    (loss * (1.0 / len(chunk))).backward()
+                    stepped = True
+                total += float(loss.data)
+                count += 1
+            if stepped:
                 self.optimizer.step()
-            total += float(loss.data)
-            count += 1
         return total / max(count, 1)
 
     def fit(
-        self, dataset, epochs: int = 5, matcher_epochs: Optional[int] = None
+        self,
+        dataset,
+        epochs: int = 5,
+        matcher_epochs: Optional[int] = None,
+        batch_size: int = 1,
     ) -> "TRMMARecoverer":
         """Train the matcher (if trainable), then the recovery model."""
         if self.matcher.requires_training:
             for _ in range(matcher_epochs if matcher_epochs is not None else epochs):
                 self.matcher.fit_epoch(dataset)
         for _ in range(epochs):
-            self.fit_epoch(dataset)
+            self.fit_epoch(dataset, batch_size=batch_size)
         return self
 
     def validation_loss(self, dataset) -> float:
@@ -111,3 +139,44 @@ class TRMMARecoverer(TrajectoryRecoverer):
             return self.model.decode(
                 self.network, trajectory, observed, route, epsilon
             )
+
+    def recover_many(
+        self,
+        trajectories: Sequence[Trajectory],
+        epsilon: float,
+        batch_size: int = 32,
+    ) -> List[MatchedTrajectory]:
+        """Batched form of :meth:`recover`, identical outputs per trajectory.
+
+        The matcher stage (Algorithm 2 line 1) runs through the matcher's
+        batched inference path, and stitching amortises the planner's route
+        cache across the whole set; the multitask decoder itself stays
+        per-sample because it is autoregressive.
+        """
+        from ...matching.base import reproject_onto_route
+
+        trajectories = list(trajectories)
+        all_segments = self.matcher.match_points_many(
+            trajectories, batch_size=batch_size
+        )
+        results: List[MatchedTrajectory] = []
+        for trajectory, segments in zip(trajectories, all_segments):
+            observed = [
+                MapMatchedPoint(
+                    edge_id=edge_id,
+                    ratio=self.network.project_onto(edge_id, p.x, p.y),
+                    t=p.t,
+                )
+                for p, edge_id in zip(trajectory, segments)
+            ]
+            route = self.matcher.stitch(segments)
+            observed = reproject_onto_route(
+                self.network, trajectory, observed, route
+            )
+            with no_grad():
+                results.append(
+                    self.model.decode(
+                        self.network, trajectory, observed, route, epsilon
+                    )
+                )
+        return results

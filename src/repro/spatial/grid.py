@@ -11,6 +11,8 @@ from __future__ import annotations
 import math
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 BBox = Tuple[float, float, float, float]
 DistanceFn = Callable[[int, float, float], float]
 
@@ -24,6 +26,7 @@ class UniformGrid:
         self.cell_size = cell_size
         self.size = len(bboxes)
         self._bboxes = list(bboxes)
+        self._box_array: Optional[np.ndarray] = None  # lazy, for bulk k-NN
         self._cells: Dict[Tuple[int, int], List[int]] = {}
         for item_id, box in enumerate(bboxes):
             for cell in self._cells_of_bbox(box):
@@ -82,6 +85,37 @@ class UniformGrid:
             ring += 1
         good = sorted(((d, i) for i, d in found.items() if d <= max_distance))[:k]
         return [(i, d) for d, i in good]
+
+    def nearest_batch(
+        self,
+        xs: Sequence[float],
+        ys: Sequence[float],
+        k: int = 1,
+        distance_fn: Optional[DistanceFn] = None,
+        batch_distance_fn=None,
+        max_distance: float = math.inf,
+    ) -> List[List[Tuple[int, float]]]:
+        """Bulk k-NN: N queries answered in one vectorised pass over the
+        indexed boxes instead of N per-query ring expansions.
+
+        Results match per-query :meth:`nearest` calls (ties broken by item
+        id); ``batch_distance_fn(ids, x, y)`` vectorises the exact-distance
+        refinement when an item distance callback is in play.
+        """
+        from .rtree import knn_over_boxes
+
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        if self.size == 0 or k <= 0:
+            return [[] for _ in range(len(xs))]
+        if self._box_array is None:
+            self._box_array = np.asarray(self._bboxes, dtype=np.float64)
+        return knn_over_boxes(
+            self._box_array, xs, ys, k,
+            distance_fn=distance_fn,
+            batch_distance_fn=batch_distance_fn,
+            max_distance=max_distance,
+        )
 
     def _max_ring(self, qx: int, qy: int) -> int:
         """Farthest ring that can contain any item, seen from the query cell."""

@@ -1,0 +1,295 @@
+"""Parity tests for the batched inference/training engine.
+
+Every batched path (bulk k-NN, vectorised candidate sets and feature
+encoding, stacked model forward, batched matching/recovery) must return
+exactly what the per-sample path returns — batching is a pure perf
+optimisation, never a semantic change.  Plus unit tests for the LRU caches
+backing route memoisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import build_dataset
+from repro.matching.mma.candidates import candidate_sets, candidate_sets_batch
+from repro.matching.mma.features import MMAFeatureEncoder, stack_encoded
+from repro.matching.mma.matcher import MMAMatcher, _length_buckets
+from repro.network.cache import LRUCache
+from repro.network.node2vec import Node2VecConfig
+from repro.network.routing import DARoutePlanner
+from repro.network.shortest_path import route_between_segments
+from repro.nn.tensor import no_grad
+from repro.recovery.trmma.recoverer import TRMMARecoverer
+from repro.spatial.grid import UniformGrid
+from repro.spatial.rtree import STRtree
+
+TINY_N2V = Node2VecConfig(
+    dimensions=16, walk_length=8, walks_per_node=2, window=3, negatives=2,
+    epochs=1,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset("PT", n_trips=16, seed=13)
+
+
+@pytest.fixture(scope="module")
+def trained_matcher(dataset):
+    matcher = MMAMatcher(
+        dataset.network, d0=16, d2=16, ffn_hidden=32,
+        node2vec_config=TINY_N2V, seed=5,
+    )
+    matcher.fit_epoch(dataset)
+    return matcher
+
+
+# ------------------------------------------------------------- bulk k-NN
+
+
+def _random_boxes(rng, n):
+    centers = rng.uniform(0.0, 1000.0, size=(n, 2))
+    sizes = rng.uniform(1.0, 60.0, size=(n, 2))
+    return [
+        (cx - w, cy - h, cx + w, cy + h)
+        for (cx, cy), (w, h) in zip(centers, sizes)
+    ]
+
+
+@pytest.mark.parametrize("k", [1, 3, 7])
+def test_rtree_nearest_batch_matches_sequential(k):
+    rng = np.random.default_rng(21)
+    tree = STRtree(_random_boxes(rng, 120))
+    xs = rng.uniform(-100.0, 1100.0, size=40)
+    ys = rng.uniform(-100.0, 1100.0, size=40)
+    batch = tree.nearest_batch(xs, ys, k=k)
+    for x, y, hits in zip(xs, ys, batch):
+        assert hits == tree.nearest(float(x), float(y), k=k)
+
+
+@pytest.mark.parametrize("k", [1, 4])
+def test_grid_nearest_batch_matches_sequential(k):
+    rng = np.random.default_rng(8)
+    grid = UniformGrid(_random_boxes(rng, 80), cell_size=200.0)
+    xs = rng.uniform(0.0, 1000.0, size=25)
+    ys = rng.uniform(0.0, 1000.0, size=25)
+    batch = grid.nearest_batch(xs, ys, k=k)
+    for x, y, hits in zip(xs, ys, batch):
+        assert hits == grid.nearest(float(x), float(y), k=k)
+
+
+def test_nearest_batch_respects_max_distance():
+    rng = np.random.default_rng(3)
+    tree = STRtree(_random_boxes(rng, 60))
+    xs = rng.uniform(0.0, 1000.0, size=10)
+    ys = rng.uniform(0.0, 1000.0, size=10)
+    batch = tree.nearest_batch(xs, ys, k=5, max_distance=50.0)
+    for x, y, hits in zip(xs, ys, batch):
+        assert hits == tree.nearest(float(x), float(y), k=5, max_distance=50.0)
+        assert all(d <= 50.0 for _, d in hits)
+
+
+def test_network_nearest_segments_batch(small_network):
+    rng = np.random.default_rng(17)
+    xmin, ymin, xmax, ymax = small_network.bounding_box()
+    xy = np.column_stack(
+        [
+            rng.uniform(xmin - 50, xmax + 50, size=50),
+            rng.uniform(ymin - 50, ymax + 50, size=50),
+        ]
+    )
+    batch = small_network.nearest_segments_batch(xy, k=10)
+    for (x, y), hits in zip(xy, batch):
+        assert hits == small_network.nearest_segments(float(x), float(y), k=10)
+
+
+# -------------------------------------------------- candidates & features
+
+
+def test_candidate_sets_batch_matches_sequential(dataset):
+    trajectories = [s.sparse for s in dataset.test]
+    batch = candidate_sets_batch(dataset.network, trajectories, 10)
+    for trajectory, sets in zip(trajectories, batch):
+        assert sets == candidate_sets(dataset.network, trajectory, 10)
+
+
+def test_candidate_sets_pads_to_kc(square_network, dataset):
+    trajectory = dataset.test[0].sparse
+    sets = candidate_sets(square_network, trajectory, k_c=20)
+    for hits in sets:
+        assert len(hits) == 20
+        # 8 real segments, then the last candidate repeated.
+        assert hits[8:] == [hits[7]] * 12
+
+
+def test_empty_network_error_names_point_index(dataset):
+    from repro.network.road_network import RoadNetwork
+
+    empty = RoadNetwork(np.array([[0.0, 0.0], [1.0, 1.0]]), [])
+    trajectory = dataset.test[0].sparse
+    with pytest.raises(RuntimeError, match="GPS point 0"):
+        candidate_sets(empty, trajectory, 10)
+    with pytest.raises(RuntimeError, match="GPS point 0"):
+        candidate_sets_batch(empty, [trajectory], 10)
+
+
+def test_encode_matches_reference(dataset):
+    encoder = MMAFeatureEncoder(dataset.network, k_c=10)
+    for sample in dataset.test[:4]:
+        fast = encoder.encode(sample.sparse)
+        ref = encoder.encode_reference(sample.sparse)
+        assert (fast.candidate_ids == ref.candidate_ids).all()
+        assert (fast.candidate_distances == ref.candidate_distances).all()
+        assert (fast.point_features == ref.point_features).all()
+        # math.hypot vs np.hypot may differ in the last ulp.
+        np.testing.assert_allclose(
+            fast.candidate_directions, ref.candidate_directions,
+            rtol=1e-12, atol=1e-12,
+        )
+
+
+def test_encode_batch_matches_encode(dataset):
+    encoder = MMAFeatureEncoder(dataset.network, k_c=10)
+    trajectories = [s.sparse for s in dataset.test]
+    batch = encoder.encode_batch(trajectories)
+    for trajectory, fast in zip(trajectories, batch):
+        single = encoder.encode(trajectory)
+        assert (fast.candidate_ids == single.candidate_ids).all()
+        assert (fast.candidate_directions == single.candidate_directions).all()
+        assert (fast.candidate_distances == single.candidate_distances).all()
+        assert (fast.point_features == single.point_features).all()
+
+
+def test_stack_encoded_rejects_mixed_lengths(dataset):
+    encoder = MMAFeatureEncoder(dataset.network, k_c=5)
+    encoded = encoder.encode_batch([s.sparse for s in dataset.test])
+    by_length = _length_buckets([e.length for e in encoded])
+    mixed = [encoded[bucket[0]] for bucket in by_length[:2]]
+    if len(mixed) == 2 and mixed[0].length != mixed[1].length:
+        with pytest.raises(ValueError, match="mixed lengths"):
+            stack_encoded(mixed)
+
+
+# --------------------------------------------------------- batched model
+
+
+def test_forward_batch_bitwise_identical(trained_matcher, dataset):
+    encoder = trained_matcher.encoder
+    encoded = encoder.encode_batch([s.sparse for s in dataset.test])
+    checked = 0
+    with no_grad():
+        for indices in _length_buckets([e.length for e in encoded]):
+            if len(indices) < 2:
+                continue
+            batch = stack_encoded([encoded[i] for i in indices])
+            batched = trained_matcher.model.forward_batch(batch).data
+            for row, i in enumerate(indices):
+                single = trained_matcher.model.forward(encoded[i]).data
+                assert (batched[row] == single).all()
+            checked += 1
+    assert checked > 0
+
+
+def test_match_points_many_identical(trained_matcher, dataset):
+    trajectories = [s.sparse for s in dataset.test] + [
+        s.sparse for s in dataset.val
+    ]
+    sequential = [trained_matcher.match_points(t) for t in trajectories]
+    for batch_size in (1, 3, 32):
+        assert (
+            trained_matcher.match_points_many(trajectories, batch_size=batch_size)
+            == sequential
+        )
+
+
+def test_match_many_identical(trained_matcher, dataset):
+    trajectories = [s.sparse for s in dataset.test]
+    sequential = [trained_matcher.match(t) for t in trajectories]
+    assert trained_matcher.match_many(trajectories, batch_size=4) == sequential
+
+
+def test_minibatch_fit_epoch_runs(dataset):
+    matcher = MMAMatcher(
+        dataset.network, d0=16, d2=16, ffn_hidden=32,
+        node2vec_config=TINY_N2V, seed=9,
+    )
+    loss = matcher.fit_epoch(dataset, batch_size=4)
+    assert np.isfinite(loss) and loss > 0.0
+    # the model must still be usable through both inference paths
+    trajectories = [s.sparse for s in dataset.val]
+    assert matcher.match_points_many(trajectories) == [
+        matcher.match_points(t) for t in trajectories
+    ]
+
+
+def test_recover_many_identical(trained_matcher, dataset):
+    recoverer = TRMMARecoverer(
+        dataset.network, trained_matcher, d_h=16, ffn_hidden=32, seed=2
+    )
+    recoverer.fit_epoch(dataset)
+    trajectories = [s.sparse for s in dataset.test]
+    sequential = [recoverer.recover(t, dataset.epsilon) for t in trajectories]
+    batched = recoverer.recover_many(trajectories, dataset.epsilon, batch_size=4)
+    assert len(sequential) == len(batched)
+    for a, b in zip(sequential, batched):
+        assert len(a.points) == len(b.points)
+        for pa, pb in zip(a.points, b.points):
+            assert (pa.edge_id, pa.ratio, pa.t) == (pb.edge_id, pb.ratio, pb.t)
+
+
+def test_trmma_gradient_accumulation_runs(trained_matcher, dataset):
+    recoverer = TRMMARecoverer(
+        dataset.network, trained_matcher, d_h=16, ffn_hidden=32, seed=2
+    )
+    loss = recoverer.fit_epoch(dataset, batch_size=4)
+    assert np.isfinite(loss) and loss > 0.0
+
+
+# -------------------------------------------------------------- LRU cache
+
+
+def test_lru_cache_hits_and_misses():
+    cache = LRUCache(capacity=10)
+    assert cache.get("a") is None
+    cache.put("a", 1)
+    assert cache.get("a") == 1
+    info = cache.info()
+    assert info.hits == 1 and info.misses == 1
+    assert info.hit_rate == 0.5
+
+
+def test_lru_cache_evicts_least_recent():
+    cache = LRUCache(capacity=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.get("a")  # refresh "a": now "b" is least recently used
+    cache.put("c", 3)
+    assert "a" in cache and "c" in cache
+    assert "b" not in cache
+    assert len(cache) == 2
+
+
+def test_planner_route_cache(square_network):
+    planner = DARoutePlanner(square_network)
+    first = planner.plan(0, 7)
+    assert planner.cache_info().hits == 0
+    second = planner.plan(0, 7)
+    assert second == first
+    assert planner.cache_info().hits == 1
+    assert planner.cache_info().hit_rate > 0.0
+    # cached copies must be independent
+    second.append(99)
+    assert planner.plan(0, 7) == first
+
+
+def test_route_between_segments_memoised(square_network):
+    route = route_between_segments(square_network, 0, 6)
+    baseline = square_network.route_cache.info().hits
+    again = route_between_segments(square_network, 0, 6)
+    assert again == route
+    assert square_network.route_cache.info().hits == baseline + 1
+    # mutating the returned list must not poison the memo
+    again.append(99)
+    assert route_between_segments(square_network, 0, 6) == route
