@@ -2,12 +2,17 @@
 
 Each benchmark module regenerates one paper artefact (table or figure) at
 ``BENCH`` scale, times the regeneration with pytest-benchmark, prints the
-paper-style report, and writes it to ``benchmarks/results/<id>.txt``.
+paper-style report through the structured logger, and writes it to
+``benchmarks/results/<id>.txt``.
 
-Wall-clock seconds per experiment also accumulate into the machine-readable
-``benchmarks/results/BENCH_PR1.json`` (experiment id -> {seconds,
-batch_size}) so perf regressions across the batched-inference work are
-diffable without parsing the text reports.
+Wall-clock seconds per experiment accumulate into the machine-readable
+``benchmarks/results/BENCH_PR2.json`` (experiment id -> {seconds,
+batch_size, stages}) so perf regressions across PRs are diffable without
+parsing the text reports.  For the efficiency figures (Figs. 5/9) the
+``stages`` entry is the per-stage time breakdown (candidates / features /
+model / routing / decode seconds) captured by ``repro.telemetry`` around
+the batched-inference measurement, plus the window wall clock it should sum
+to.
 
 The heavyweight sweep experiments (Figs. 7, 8, 11 retrain per setting) run
 on a reduced dataset list to keep the suite practical; pass ``--scale`` via
@@ -20,19 +25,48 @@ import json
 import pathlib
 import time
 from dataclasses import replace
+from typing import Dict, Optional
 
 from repro.experiments import BENCH, EXPERIMENTS, ExperimentScale
 from repro.experiments.common import BENCH_BATCH_SIZE
+from repro.utils.tables import emit_table
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
-BENCH_JSON = RESULTS_DIR / "BENCH_PR1.json"
+BENCH_JSON = RESULTS_DIR / "BENCH_PR2.json"
 
 #: Reduced scale for the experiments that retrain per sweep setting.
 SWEEP_SCALE = replace(BENCH, datasets=("PT",))
 
 
-def record_benchmark(experiment_id: str, seconds: float) -> None:
-    """Merge one experiment's wall-clock seconds into BENCH_PR1.json."""
+def extract_stage_breakdown(results) -> Optional[Dict]:
+    """Pull per-dataset telemetry stage breakdowns out of ``run`` results.
+
+    The efficiency experiments attach ``_stages`` / ``_stage_window_seconds``
+    footnote entries per dataset; everything else returns None.
+    """
+    if not isinstance(results, dict):
+        return None
+    stages: Dict[str, Dict] = {}
+    for dataset, entries in results.items():
+        if not isinstance(entries, dict):
+            continue
+        breakdown = entries.get("_stages")
+        if not breakdown:
+            continue
+        stages[dataset] = {
+            "seconds": {k: round(v, 6) for k, v in sorted(breakdown.items())},
+            "window_seconds": round(
+                float(entries.get("_stage_window_seconds") or 0.0), 6
+            ),
+        }
+    return stages or None
+
+
+def record_benchmark(
+    experiment_id: str, seconds: float, stages: Optional[Dict] = None
+) -> None:
+    """Merge one experiment's wall clock (and stage breakdown) into
+    BENCH_PR2.json."""
     RESULTS_DIR.mkdir(exist_ok=True)
     entries = {}
     if BENCH_JSON.exists():
@@ -40,10 +74,13 @@ def record_benchmark(experiment_id: str, seconds: float) -> None:
             entries = json.loads(BENCH_JSON.read_text())
         except (ValueError, OSError):
             entries = {}
-    entries[experiment_id] = {
+    entry = {
         "seconds": round(seconds, 6),
         "batch_size": BENCH_BATCH_SIZE,
     }
+    if stages:
+        entry["stages"] = stages
+    entries[experiment_id] = entry
     BENCH_JSON.write_text(json.dumps(entries, indent=2, sort_keys=True) + "\n")
 
 
@@ -56,13 +93,16 @@ def run_and_report(
     def timed_run():
         start = time.perf_counter()
         results = experiment.run(scale)
-        record_benchmark(experiment_id, time.perf_counter() - start)
+        record_benchmark(
+            experiment_id,
+            time.perf_counter() - start,
+            stages=extract_stage_breakdown(results),
+        )
         return results
 
     results = benchmark.pedantic(timed_run, rounds=1, iterations=1)
     report = experiment.report(results)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{experiment_id}.txt").write_text(report + "\n")
-    print()
-    print(report)
+    emit_table("\n" + report)
     return results

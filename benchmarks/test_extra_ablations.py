@@ -13,6 +13,7 @@ from repro.experiments.extra_ablations import (
     run_kc_sweep,
     run_planner_ablation,
 )
+from repro.utils.tables import emit_table
 
 SCALE = replace(BENCH, datasets=("PT",))
 RESULTS = pathlib.Path(__file__).parent / "results"
@@ -23,8 +24,7 @@ def test_kc_sweep(benchmark):
     report = report_kc(results)
     RESULTS.mkdir(exist_ok=True)
     (RESULTS / "extra_kc.txt").write_text(report + "\n")
-    print()
-    print(report)
+    emit_table("\n" + report)
     for name, curve in results.items():
         # k_c = 1 (pure nearest) must be clearly worse than k_c = 10.
         assert curve[10] > curve[1], name
@@ -37,8 +37,7 @@ def test_planner_history_weight(benchmark):
     report = report_planner(results)
     RESULTS.mkdir(exist_ok=True)
     (RESULTS / "extra_planner.txt").write_text(report + "\n")
-    print()
-    print(report)
+    emit_table("\n" + report)
     for name, curve in results.items():
         # Any tau must keep stitched-route F1 high — the planner never
         # breaks routes, history weighting only re-ranks near-ties.
@@ -52,8 +51,7 @@ def test_distance_feature(benchmark):
     RESULTS.mkdir(exist_ok=True)
     lines = [f"{name}: {row}" for name, row in results.items()]
     (RESULTS / "extra_distance_feature.txt").write_text("\n".join(lines) + "\n")
-    print()
-    print("\n".join(lines))
+    emit_table("\n" + "\n".join(lines))
     for name, row in results.items():
         # The scale adaptation must actually pay for itself.
         assert row["with-distance"] >= row["paper-faithful"] - 0.02, name
@@ -68,8 +66,7 @@ def test_decoder_scaling_with_network_size(benchmark):
     rep = report(results)
     RESULTS.mkdir(exist_ok=True)
     (RESULTS / "extra_scaling.txt").write_text(rep + "\n")
-    print()
-    print(rep)
+    emit_table("\n" + rep)
     trmma_growth, mtraj_growth = growth_factors(results)
     assert mtraj_growth > trmma_growth
     # At the largest network the |E|-way decoder must already be slower.
@@ -90,8 +87,7 @@ def test_training_scaling_with_network_size(benchmark):
     rep = report(results)
     RESULTS.mkdir(exist_ok=True)
     (RESULTS / "extra_training_scaling.txt").write_text(rep + "\n")
-    print()
-    print(rep)
+    emit_table("\n" + rep)
     sizes = sorted(results["MTrajRec"])
     assert results["MTrajRec"][sizes[-1]] > results["MTrajRec"][sizes[0]]
     for size in sizes:

@@ -17,6 +17,7 @@ from ..data.datasets import Dataset
 from ..data.trajectory import TrajectorySample
 from ..matching.base import MapMatcher
 from ..recovery.base import TrajectoryRecoverer
+from ..telemetry import span
 from ..utils.timing import time_call
 
 
@@ -31,8 +32,9 @@ def recovery_inference_time(
         raise ValueError("no samples to time")
 
     def run() -> None:
-        for sample in samples:
-            recoverer.recover(sample.sparse, dataset.epsilon)
+        with span("inference"):
+            for sample in samples:
+                recoverer.recover(sample.sparse, dataset.epsilon)
 
     return time_call(run) * 1000.0 / len(samples)
 
@@ -48,8 +50,9 @@ def matching_inference_time(
         raise ValueError("no samples to time")
 
     def run() -> None:
-        for sample in samples:
-            matcher.match(sample.sparse)
+        with span("inference"):
+            for sample in samples:
+                matcher.match(sample.sparse)
 
     return time_call(run) * 1000.0 / len(samples)
 
@@ -68,9 +71,10 @@ def recovery_inference_time_batched(
     trajectories = [sample.sparse for sample in samples]
 
     def run() -> None:
-        recoverer.recover_many(
-            trajectories, dataset.epsilon, batch_size=batch_size
-        )
+        with span("inference"):
+            recoverer.recover_many(
+                trajectories, dataset.epsilon, batch_size=batch_size
+            )
 
     return time_call(run) * 1000.0 / len(samples)
 
@@ -90,14 +94,20 @@ def matching_inference_time_batched(
     trajectories = [sample.sparse for sample in samples]
 
     def run() -> None:
-        matcher.match_many(trajectories, batch_size=batch_size)
+        with span("inference"):
+            matcher.match_many(trajectories, batch_size=batch_size)
 
     return time_call(run) * 1000.0 / len(samples)
 
 
 def training_time_per_epoch(method, dataset: Dataset) -> float:
     """Wall-clock seconds of one training epoch of ``method``."""
-    return time_call(lambda: method.fit_epoch(dataset))
+
+    def run() -> None:
+        with span("train_epoch"):
+            method.fit_epoch(dataset)
+
+    return time_call(run)
 
 
 def efficiency_report(times: Dict[str, float], best_key: str) -> Dict[str, float]:

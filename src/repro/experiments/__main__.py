@@ -3,6 +3,12 @@
     python -m repro.experiments fig2
     python -m repro.experiments table5 --scale tiny
     python -m repro.experiments all --scale bench
+    python -m repro.experiments fig9 --telemetry-report
+
+``--telemetry-report`` enables the telemetry subsystem for the run and
+appends the span tree plus the cache hit-rate table after the experiment
+reports; ``--quiet`` suppresses informational output (useful when only the
+persisted artefact files matter).
 """
 
 from __future__ import annotations
@@ -10,6 +16,8 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .. import telemetry
+from ..telemetry.log import emit, set_quiet
 from .common import BENCH, FULL, TINY
 from .registry import EXPERIMENTS, run_experiment
 
@@ -25,13 +33,35 @@ def main(argv=None) -> int:
         help=f"experiment id ({', '.join(sorted(EXPERIMENTS))}) or 'all'",
     )
     parser.add_argument("--scale", choices=sorted(SCALES), default="bench")
+    parser.add_argument(
+        "--telemetry-report",
+        action="store_true",
+        help="enable telemetry and print the span tree + cache report",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress informational output (warnings still shown)",
+    )
     args = parser.parse_args(argv)
     scale = SCALES[args.scale]
+    set_quiet(args.quiet)
+    if args.telemetry_report:
+        telemetry.enable()
 
     ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for experiment_id in ids:
-        print(run_experiment(experiment_id, scale))
-        print()
+        emit(run_experiment(experiment_id, scale))
+        emit("")
+    if args.telemetry_report:
+        emit("telemetry span tree:")
+        emit(telemetry.render_span_tree())
+        emit("")
+        emit("stage totals:")
+        emit(telemetry.render_stage_table())
+        emit("")
+        emit("cache registry:")
+        emit(telemetry.cache_report())
     return 0
 
 

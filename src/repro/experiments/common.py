@@ -42,6 +42,8 @@ from ..recovery import (
 )
 from ..recovery.seq2seq import ModelRouteMatcher
 from ..recovery.trmma import TRMMARecoverer
+from ..telemetry import log as telemetry_log
+from ..telemetry import span
 
 
 @dataclass(frozen=True)
@@ -133,15 +135,24 @@ def build_matchers(
 
 
 def fit_matcher(matcher: MapMatcher, dataset: Dataset, epochs: int) -> None:
-    """Train a matcher with per-epoch validation selection (best state wins)."""
+    """Train a matcher with per-epoch validation selection (best state wins).
+
+    Telemetry: the whole fit is a ``fit_matcher`` span; each epoch's loss
+    and validation accuracy are logged at debug level.
+    """
     if not matcher.requires_training:
         return
     best_score, best_snapshot = -1.0, None
-    for _ in range(epochs):
-        matcher.fit_epoch(dataset)
-        score = matcher.validation_point_accuracy(dataset)
-        if score > best_score:
-            best_score, best_snapshot = score, matcher.snapshot()
+    with span("fit_matcher"):
+        for epoch in range(epochs):
+            loss = matcher.fit_epoch(dataset)
+            score = matcher.validation_point_accuracy(dataset)
+            telemetry_log.debug(
+                f"fit {matcher.name} epoch {epoch + 1}/{epochs}: "
+                f"loss {loss:.4f}, val acc {score:.4f}"
+            )
+            if score > best_score:
+                best_score, best_snapshot = score, matcher.snapshot()
     if best_snapshot is not None:
         matcher.restore(best_snapshot)
 
@@ -205,11 +216,17 @@ def train_recoverer(
     if not recoverer.requires_training:
         return
     best_loss, best_snapshot = float("inf"), None
-    for _ in range(scale.epochs):
-        recoverer.fit_epoch(dataset)
-        loss = recoverer.validation_loss(dataset)
-        if loss is not None and loss < best_loss:
-            best_loss, best_snapshot = loss, recoverer.snapshot()
+    with span("fit_recoverer"):
+        for epoch in range(scale.epochs):
+            train_loss = recoverer.fit_epoch(dataset)
+            loss = recoverer.validation_loss(dataset)
+            val = "n/a" if loss is None else f"{loss:.4f}"
+            telemetry_log.debug(
+                f"fit {recoverer.name} epoch {epoch + 1}/{scale.epochs}: "
+                f"train loss {train_loss:.4f}, val loss {val}"
+            )
+            if loss is not None and loss < best_loss:
+                best_loss, best_snapshot = loss, recoverer.snapshot()
     if best_snapshot is not None:
         recoverer.restore(best_snapshot)
 

@@ -16,6 +16,7 @@ from ..eval.efficiency import (
     recovery_inference_time,
     recovery_inference_time_batched,
 )
+from ..telemetry import capture_stages, render_stage_table
 from ..utils.tables import render_metric_table
 from .common import (
     BENCH,
@@ -28,23 +29,28 @@ from .common import (
 #: Key carrying the TRMMA planner's route-cache hit rate in ``run`` results.
 #: Underscore-prefixed entries are report footnotes, not method rows.
 ROUTE_CACHE_KEY = "_trmma_route_cache_hit_rate"
+STAGES_KEY = "_stages"
+STAGE_WINDOW_KEY = "_stage_window_seconds"
 
 
-def run(scale: ExperimentScale = BENCH) -> Dict[str, Dict[str, float]]:
-    """{dataset: {method: seconds per 1000 recoveries}}."""
-    results: Dict[str, Dict[str, float]] = {}
+def run(scale: ExperimentScale = BENCH) -> Dict[str, Dict[str, object]]:
+    """{dataset: {method: seconds per 1000 recoveries, plus footnotes}}."""
+    results: Dict[str, Dict[str, object]] = {}
     for name in scale.datasets:
         dataset = get_dataset(name, scale)
         recoverers = trained_recoverers(name, scale)
-        times = {
+        times: Dict[str, object] = {
             method: recovery_inference_time(rec, dataset)
             for method, rec in recoverers.items()
         }
         trmma = recoverers.get("TRMMA")
         if trmma is not None:
-            times["TRMMA (batched)"] = recovery_inference_time_batched(
-                trmma, dataset, batch_size=BENCH_BATCH_SIZE
-            )
+            with capture_stages() as capture:
+                times["TRMMA (batched)"] = recovery_inference_time_batched(
+                    trmma, dataset, batch_size=BENCH_BATCH_SIZE
+                )
+            times[STAGES_KEY] = dict(capture.stages)
+            times[STAGE_WINDOW_KEY] = capture.window_seconds
             matcher = getattr(trmma, "matcher", None)
             if matcher is not None:
                 times[ROUTE_CACHE_KEY] = matcher.planner.cache_info().hit_rate
@@ -66,6 +72,12 @@ def report(results: Dict[str, Dict[str, float]]) -> str:
             block += (
                 f"\nTRMMA planner route-cache hit rate: {hit_rate:.1%} "
                 f"(batch size {BENCH_BATCH_SIZE})"
+            )
+        stages = times.get(STAGES_KEY)
+        if stages:
+            block += (
+                "\n\nTRMMA (batched) stage breakdown:\n"
+                + render_stage_table(stages, times.get(STAGE_WINDOW_KEY))
             )
         blocks.append(block)
     return "\n\n".join(blocks)

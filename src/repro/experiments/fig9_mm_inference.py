@@ -5,6 +5,11 @@ is trivially cheap but inaccurate); DeepMM/GraphMM/RNTrajRec markedly
 slower.  The extra ``MMA (batched)`` row times the same matcher through its
 batched inference path (bulk k-NN + vectorised encoding + stacked model
 forward); its matches are bit-identical to the sequential MMA row.
+
+The batched row also runs under :func:`repro.telemetry.capture_stages`, so
+the report carries a per-stage time breakdown (candidates / features /
+model / routing) of the measured window — the Fig. 9 stage accounting the
+paper discusses but never tabulates.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ from ..eval.efficiency import (
     matching_inference_time,
     matching_inference_time_batched,
 )
+from ..telemetry import capture_stages, render_stage_table
 from ..utils.tables import render_metric_table
 from .common import (
     BENCH,
@@ -24,29 +30,37 @@ from .common import (
     trained_matchers,
 )
 
+#: Footnote keys (underscore-prefixed entries are not method rows).
+STAGES_KEY = "_stages"
+STAGE_WINDOW_KEY = "_stage_window_seconds"
 
-def run(scale: ExperimentScale = BENCH) -> Dict[str, Dict[str, float]]:
-    """{dataset: {method: seconds per 1000 matchings}}."""
-    results: Dict[str, Dict[str, float]] = {}
+
+def run(scale: ExperimentScale = BENCH) -> Dict[str, Dict[str, object]]:
+    """{dataset: {method: seconds per 1000 matchings, plus stage footnotes}}."""
+    results: Dict[str, Dict[str, object]] = {}
     for name in scale.datasets:
         dataset = get_dataset(name, scale)
         matchers = trained_matchers(name, scale)
-        times = {
+        times: Dict[str, object] = {
             method: matching_inference_time(matcher, dataset)
             for method, matcher in matchers.items()
         }
         if "MMA" in matchers:
-            times["MMA (batched)"] = matching_inference_time_batched(
-                matchers["MMA"], dataset, batch_size=BENCH_BATCH_SIZE
-            )
+            with capture_stages() as capture:
+                times["MMA (batched)"] = matching_inference_time_batched(
+                    matchers["MMA"], dataset, batch_size=BENCH_BATCH_SIZE
+                )
+            times[STAGES_KEY] = dict(capture.stages)
+            times[STAGE_WINDOW_KEY] = capture.window_seconds
         results[name] = times
     return results
 
 
-def report(results: Dict[str, Dict[str, float]]) -> str:
+def report(results: Dict[str, Dict[str, object]]) -> str:
     blocks = []
     for name, times in results.items():
-        table = {method: {"s/1000": t} for method, t in times.items()}
+        rows = {m: t for m, t in times.items() if not m.startswith("_")}
+        table = {method: {"s/1000": t} for method, t in rows.items()}
         block = render_metric_table(
             table, ("s/1000",),
             title=f"Fig. 9 ({name}) — matching inference time per 1000",
@@ -57,6 +71,11 @@ def report(results: Dict[str, Dict[str, float]]) -> str:
             block += (
                 f"\nMMA batched speedup: {sequential / batched:.2f}x "
                 f"(batch size {BENCH_BATCH_SIZE}, identical matches)"
+            )
+        stages = times.get(STAGES_KEY)
+        if stages:
+            block += "\n\nMMA (batched) stage breakdown:\n" + render_stage_table(
+                stages, times.get(STAGE_WINDOW_KEY)
             )
         blocks.append(block)
     return "\n\n".join(blocks)

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict
 
+from ..telemetry import span
 from . import (
     fig2_candidates,
     table2_statistics,
@@ -69,12 +70,17 @@ EXPERIMENTS: Dict[str, Experiment] = {
 
 
 def run_experiment(experiment_id: str, scale: ExperimentScale = BENCH) -> str:
-    """Run one experiment and return its printed report."""
+    """Run one experiment and return its printed report.
+
+    Telemetry: the whole run is traced as a span named after the experiment
+    id, so ``--telemetry-report`` attributes stage time per artefact.
+    """
     if experiment_id not in EXPERIMENTS:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; "
             f"choose from {sorted(EXPERIMENTS)}"
         )
     experiment = EXPERIMENTS[experiment_id]
-    results = experiment.run(scale)
+    with span(experiment_id):
+        results = experiment.run(scale)
     return experiment.report(results)

@@ -18,6 +18,7 @@ from ..network.road_network import RoadNetwork
 from ..network.routing import DARoutePlanner, TransitionStatistics
 from ..network.shortest_path import concatenate_routes
 from ..nn import Module
+from ..telemetry import span
 
 
 class MapMatcher:
@@ -119,16 +120,20 @@ class MapMatcher:
         a single mis-matched point otherwise inserts a spurious loop into
         the route, which damages the set-based route metrics much more than
         the point itself.
+
+        Telemetry: recorded as a ``routing`` span (the per-pair planner
+        calls nest inside it as further ``routing`` spans).
         """
-        if not segments:
-            return []
-        kept = self._drop_outliers(list(segments))
-        legs = []
-        for a, b in zip(kept, kept[1:]):
-            legs.append(self.planner.plan(a, b))
-        if not legs:
-            return [kept[0]]
-        return concatenate_routes(legs)
+        with span("routing"):
+            if not segments:
+                return []
+            kept = self._drop_outliers(list(segments))
+            legs = []
+            for a, b in zip(kept, kept[1:]):
+                legs.append(self.planner.plan(a, b))
+            if not legs:
+                return [kept[0]]
+            return concatenate_routes(legs)
 
     def _drop_outliers(self, segments: List[int]) -> List[int]:
         if len(segments) < 3:
@@ -188,9 +193,21 @@ def reproject_onto_route(
     distance dynamic program (points must progress along the route in
     order), which cleans up exactly the twin/side-street anchor errors that
     independent per-point matching leaves behind.
+
+    Telemetry: recorded as a ``reproject`` span.
     """
     if not route or not matched:
         return list(matched)
+    with span("reproject"):
+        return _reproject_onto_route(network, trajectory, matched, route)
+
+
+def _reproject_onto_route(
+    network: RoadNetwork,
+    trajectory: Trajectory,
+    matched: Sequence[MapMatchedPoint],
+    route: Sequence[int],
+) -> List[MapMatchedPoint]:
     n_points = len(matched)
     l_route = len(route)
     route_idx = np.asarray(route, dtype=np.int64)

@@ -34,6 +34,7 @@ import numpy as np
 from ...data.trajectory import Trajectory
 from ...geometry.segments import directional_features
 from ...network.road_network import RoadNetwork
+from ...telemetry import span
 from .candidates import DEFAULT_KC, candidate_sets, candidate_sets_batch
 
 
@@ -163,7 +164,17 @@ class MMAFeatureEncoder:
         handful of array operations over the flattened ``(N, k_c)`` point ×
         candidate grid, so cost per point is a few vector ops instead of
         ``k_c`` Python-level geometry calls.
+
+        Telemetry: the whole call is a ``features`` span; the bulk k-NN
+        inside contributes a nested ``candidates`` span, so stage reports
+        separate geometry work from candidate retrieval.
         """
+        with span("features"):
+            return self._encode_batch(trajectories)
+
+    def _encode_batch(
+        self, trajectories: Sequence[Trajectory]
+    ) -> List[EncodedTrajectory]:
         trajectories = list(trajectories)
         if not trajectories:
             return []

@@ -35,6 +35,7 @@ from ...nn import (
     concat,
     softmax,
 )
+from ...telemetry import span
 from ...utils.rng import SeedLike, make_rng
 from .features import EncodedBatch, EncodedTrajectory
 
@@ -121,12 +122,15 @@ class MMAModel(Module):
         return z2 + context  # Eq. 8
 
     def forward(self, encoded: EncodedTrajectory) -> Tensor:
-        """Per-candidate logits of shape (l, k_c); sigmoid gives Eq. 9."""
-        candidates = self.candidate_embeddings(encoded)
-        points = self.point_embeddings(encoded, candidates)
-        l, k = encoded.candidate_ids.shape
-        points_tiled = points.reshape(l, 1, self.d2)
-        return (candidates * points_tiled).sum(axis=-1)  # (l, k)
+        """Per-candidate logits of shape (l, k_c); sigmoid gives Eq. 9.
+
+        Telemetry: recorded as a ``model`` span per call."""
+        with span("model"):
+            candidates = self.candidate_embeddings(encoded)
+            points = self.point_embeddings(encoded, candidates)
+            l, k = encoded.candidate_ids.shape
+            points_tiled = points.reshape(l, 1, self.d2)
+            return (candidates * points_tiled).sum(axis=-1)  # (l, k)
 
     def predict_segments(self, encoded: EncodedTrajectory) -> np.ndarray:
         """Matched segment id per point: argmax_{c in C} P(c | p) (line 9)."""
@@ -176,12 +180,15 @@ class MMAModel(Module):
 
     def forward_batch(self, batch: EncodedBatch) -> Tensor:
         """Per-candidate logits of shape (b, l, k_c) for a same-length
-        bucket; bit-identical to per-sample :meth:`forward` calls."""
-        candidates = self.candidate_embeddings_batch(batch)
-        points = self.point_embeddings_batch(batch, candidates)
-        b, l, k = batch.candidate_ids.shape
-        points_tiled = points.reshape(b, l, 1, self.d2)
-        return (candidates * points_tiled).sum(axis=-1)  # (b, l, k)
+        bucket; bit-identical to per-sample :meth:`forward` calls.
+
+        Telemetry: recorded as a ``model`` span per bucket."""
+        with span("model"):
+            candidates = self.candidate_embeddings_batch(batch)
+            points = self.point_embeddings_batch(batch, candidates)
+            b, l, k = batch.candidate_ids.shape
+            points_tiled = points.reshape(b, l, 1, self.d2)
+            return (candidates * points_tiled).sum(axis=-1)  # (b, l, k)
 
     def predict_segments_batch(self, batch: EncodedBatch) -> np.ndarray:
         """Matched segment ids of shape (b, l) for a same-length bucket."""

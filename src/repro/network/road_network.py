@@ -30,6 +30,7 @@ from ..geometry.segments import (
     project_ratio,
 )
 from ..spatial.rtree import STRtree
+from ..telemetry import register_cache, size_probe, span
 from .cache import LRUCache
 
 
@@ -98,6 +99,10 @@ class RoadNetwork:
         #: route_between_segments` — stitching R across consecutive matched
         #: segments repeats the same OD pairs constantly (Algorithm 1).
         self.route_cache = LRUCache(capacity=100_000)
+        register_cache("network.route_cache", self.route_cache)
+        register_cache(
+            "network.successor_table", self, size_probe("successor_table")
+        )
         self._rtree = STRtree([g.bbox() for g in self._geometry]) if edges else None
         # Vectorised segment geometry for the brute-force k-NN fast path.
         if edges:
@@ -235,7 +240,16 @@ class RoadNetwork:
         This is the amortised candidate-set query feeding MMA's batched
         feature encoding: one (N, M) distance matrix replaces N separate
         scans, so the per-query Python overhead disappears.
+
+        Telemetry: each call is recorded as a ``candidates`` span, nesting
+        under ``features`` when invoked from the batched feature encoder.
         """
+        with span("candidates"):
+            return self._nearest_segments_batch(xy, k)
+
+    def _nearest_segments_batch(
+        self, xy: np.ndarray, k: int
+    ) -> List[List[Tuple[int, float]]]:
         xy = np.asarray(xy, dtype=np.float64).reshape(-1, 2)
         n = xy.shape[0]
         if self._rtree is None or n == 0:

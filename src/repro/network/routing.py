@@ -16,6 +16,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..telemetry import inc, register_cache, size_probe, span
 from .cache import CacheInfo, LRUCache
 from .road_network import RoadNetwork
 from .shortest_path import route_between_segments
@@ -98,6 +99,8 @@ class DARoutePlanner:
         self.fallbacks = 0  # number of plans that needed the exact fallback
         self._cache = LRUCache(capacity=route_cache_capacity)
         self._cost_cache: dict = {}
+        register_cache("planner.route_cache", self._cache)
+        register_cache("planner.cost_cache", self, size_probe("_cost_cache"))
 
     def cache_info(self) -> CacheInfo:
         """Hit/miss counters of the plan memo (Figs. 5/9 efficiency probes)."""
@@ -109,14 +112,18 @@ class DARoutePlanner:
         Plans are deterministic and memoised in a bounded LRU — repeated
         stitching of the same segment pairs (common across a test set) hits
         the cache instead of re-running the bounded Dijkstra.
+
+        Telemetry: every call is a ``routing`` span (cache hits included,
+        so the span's p50 reflects the memo's effectiveness).
         """
-        key = (from_edge, to_edge)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return list(cached)
-        route = self._plan_uncached(from_edge, to_edge)
-        self._cache.put(key, tuple(route))
-        return route
+        with span("routing"):
+            key = (from_edge, to_edge)
+            cached = self._cache.get(key)
+            if cached is not None:
+                return list(cached)
+            route = self._plan_uncached(from_edge, to_edge)
+            self._cache.put(key, tuple(route))
+            return route
 
     def travel_distance(self, from_edge: int, to_edge: int) -> float:
         """Travel distance from the exit of ``from_edge`` to the exit of
@@ -131,6 +138,7 @@ class DARoutePlanner:
         if route is not None:
             return route
         self.fallbacks += 1
+        inc("planner.fallbacks")
         exact = route_between_segments(self.network, from_edge, to_edge)
         if exact is None:
             # Strongly connected networks always have some route; if the

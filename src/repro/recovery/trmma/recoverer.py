@@ -18,6 +18,7 @@ from ...data.trajectory import MapMatchedPoint, MatchedTrajectory, Trajectory
 from ...matching.base import MapMatcher
 from ...network.road_network import RoadNetwork
 from ...nn import Adam
+from ...telemetry import span, timed_epoch
 from ...utils.rng import SeedLike, make_rng
 from ..base import TrajectoryRecoverer
 from ...nn.tensor import no_grad
@@ -70,7 +71,15 @@ class TRMMARecoverer(TrajectoryRecoverer):
         With ``batch_size>1`` losses are scaled by ``1/len(chunk)`` and
         gradients *accumulated* across the chunk before a single step —
         mini-batch SGD without batching the (autoregressive) decoder itself.
+
+        Telemetry: per-epoch loss and samples/sec land under
+        ``train.<name>.*`` when enabled.
         """
+        with timed_epoch(self.name, len(dataset.train)) as epoch:
+            epoch.loss = self._fit_epoch(dataset, batch_size)
+        return epoch.loss
+
+    def _fit_epoch(self, dataset, batch_size: int) -> float:
         self.model.train()
         total, count = 0.0, 0
         if batch_size <= 1:
@@ -135,7 +144,7 @@ class TRMMARecoverer(TrajectoryRecoverer):
         observed = self.matcher.matched_points(trajectory)
         route = self.matcher.stitch([a.edge_id for a in observed])
         observed = reproject_onto_route(self.network, trajectory, observed, route)
-        with no_grad():
+        with no_grad(), span("decode"):
             return self.model.decode(
                 self.network, trajectory, observed, route, epsilon
             )
@@ -173,7 +182,7 @@ class TRMMARecoverer(TrajectoryRecoverer):
             observed = reproject_onto_route(
                 self.network, trajectory, observed, route
             )
-            with no_grad():
+            with no_grad(), span("decode"):
                 results.append(
                     self.model.decode(
                         self.network, trajectory, observed, route, epsilon

@@ -1,0 +1,246 @@
+"""Metric primitives: counters, gauges, fixed-bucket histograms, span stats.
+
+Everything here is plain-Python and dependency-free.  A
+:class:`MetricsRegistry` is a passive container — the hot-path guards live
+in :mod:`repro.telemetry.state` / :mod:`repro.telemetry.spans`, which only
+touch a registry when telemetry is enabled.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) with linear interpolation.
+
+    Returns 0.0 for an empty sequence, so timing reports degrade gracefully
+    when a stage never ran.  (Lives here rather than ``repro.utils`` so the
+    telemetry core stays import-cycle-free; ``repro.utils.timing``
+    re-exports it.)
+    """
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be within [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (len(ordered) - 1) * q / 100.0
+    lower = int(rank)
+    frac = rank - lower
+    if lower + 1 >= len(ordered):
+        return float(ordered[-1])
+    return float(ordered[lower] * (1.0 - frac) + ordered[lower + 1] * frac)
+
+
+#: Default histogram bucket upper bounds (seconds): spans from microseconds
+#: of cached route plans up to multi-second training epochs.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0
+)
+
+#: Per-span-path cap on retained duration samples (percentile estimation
+#: stays O(1) memory on paths hit millions of times, e.g. route planning).
+MAX_SPAN_SAMPLES = 4096
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a gauge")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (cache hit rates, last epoch loss)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram with Prometheus ``le`` (<=) edge semantics.
+
+    ``buckets`` are strictly increasing upper bounds; an implicit +inf
+    bucket catches the overflow.  A value exactly on an edge counts toward
+    that edge's bucket.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "sum", "count")
+
+    def __init__(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(a >= b for a, b in zip(bounds, bounds[1:])):
+            raise ValueError("buckets must be strictly increasing and non-empty")
+        self.name = name
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1 for the +inf overflow
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` rows, ending with +inf."""
+        rows: List[Tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.buckets, self.counts):
+            running += n
+            rows.append((bound, running))
+        rows.append((float("inf"), running + self.counts[-1]))
+        return rows
+
+
+class SpanStats:
+    """Accumulated durations of one span path in the trace tree."""
+
+    __slots__ = ("path", "count", "total", "min", "max", "samples")
+
+    def __init__(self, path: Tuple[str, ...]) -> None:
+        self.path = path
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+        self.samples: List[float] = []
+
+    @property
+    def name(self) -> str:
+        return self.path[-1] if self.path else ""
+
+    @property
+    def depth(self) -> int:
+        return len(self.path) - 1
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+        if len(self.samples) < MAX_SPAN_SAMPLES:
+            self.samples.append(seconds)
+
+    def p50(self) -> float:
+        return percentile(self.samples, 50.0)
+
+    def p95(self) -> float:
+        return percentile(self.samples, 95.0)
+
+
+class MetricsRegistry:
+    """Process-wide container for counters, gauges, histograms and spans."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self.spans: Dict[Tuple[str, ...], SpanStats] = {}
+
+    # ------------------------------------------------------------- counters
+
+    def counter(self, name: str) -> Counter:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter(name)
+        return counter
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        self.counter(name).inc(amount)
+
+    # --------------------------------------------------------------- gauges
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self.gauges.get(name)
+        if gauge is None:
+            gauge = self.gauges[name] = Gauge(name)
+        return gauge
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    # ----------------------------------------------------------- histograms
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram(
+                name, buckets or DEFAULT_BUCKETS
+            )
+        return histogram
+
+    def observe(
+        self, name: str, value: float, buckets: Optional[Sequence[float]] = None
+    ) -> None:
+        self.histogram(name, buckets).observe(value)
+
+    # ---------------------------------------------------------------- spans
+
+    def record_span(self, path: Tuple[str, ...], seconds: float) -> None:
+        stats = self.spans.get(path)
+        if stats is None:
+            stats = self.spans[path] = SpanStats(path)
+        stats.record(seconds)
+
+    def span_children(self, path: Tuple[str, ...]) -> List[SpanStats]:
+        n = len(path)
+        return [
+            stats
+            for p, stats in self.spans.items()
+            if len(p) == n + 1 and p[:n] == path
+        ]
+
+    def self_seconds(self, path: Tuple[str, ...]) -> float:
+        """Span total minus direct-children totals (own work only)."""
+        stats = self.spans.get(path)
+        if stats is None:
+            return 0.0
+        return max(
+            0.0,
+            stats.total - sum(c.total for c in self.span_children(path)),
+        )
+
+    def stage_totals(self) -> Dict[str, float]:
+        """Self-time seconds aggregated by span *leaf name*.
+
+        Because every path contributes exactly its self time, the values sum
+        to the total of the root spans — a per-stage decomposition of the
+        instrumented wall clock with no double counting of nested spans.
+        """
+        totals: Dict[str, float] = {}
+        for path in self.spans:
+            name = path[-1]
+            totals[name] = totals.get(name, 0.0) + self.self_seconds(path)
+        return totals
+
+    # ------------------------------------------------------------- lifecycle
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+        self.spans.clear()

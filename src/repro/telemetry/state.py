@@ -1,0 +1,67 @@
+"""Process-global telemetry state: the on/off switch and the registry.
+
+Telemetry is **disabled by default**; every instrumented call site goes
+through a no-op fast path whose cost is a flag check.  Enable it with::
+
+    REPRO_TELEMETRY=1 python -m repro.experiments fig9
+
+or programmatically via :func:`enable` / the :func:`enabled_scope` context
+manager.  The flag is read directly (``state._enabled``) by the span fast
+path, so toggling is instant and allocation-free when off.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+from .metrics import MetricsRegistry
+
+_TRUTHY_OFF = ("", "0", "false", "no", "off")
+
+
+def _env_enabled(value: str) -> bool:
+    """Interpret the ``REPRO_TELEMETRY`` environment value."""
+    return value.strip().lower() not in _TRUTHY_OFF
+
+
+_enabled: bool = _env_enabled(os.environ.get("REPRO_TELEMETRY", ""))
+_registry = MetricsRegistry()
+
+
+def enabled() -> bool:
+    """Whether instrumentation currently records anything."""
+    return _enabled
+
+
+def enable() -> None:
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    global _enabled
+    _enabled = False
+
+
+@contextmanager
+def enabled_scope(on: bool = True) -> Iterator[None]:
+    """Temporarily force telemetry on (or off), restoring the prior state."""
+    global _enabled
+    previous = _enabled
+    _enabled = on
+    try:
+        yield
+    finally:
+        _enabled = previous
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry all instrumentation records into."""
+    return _registry
+
+
+def reset() -> None:
+    """Clear all recorded metrics and spans (test isolation)."""
+    _registry.reset()

@@ -2,12 +2,19 @@
 
 from .rng import DEFAULT_SEED, make_rng, sample_without_replacement, spawn_rng
 from .ascii_map import AsciiCanvas, render_network
-from .tables import best_in_column, render_metric_table, render_series, render_table
-from .timing import Timer, TimingLog, time_call, time_per_thousand
+from .tables import (
+    best_in_column,
+    emit_table,
+    render_metric_table,
+    render_series,
+    render_table,
+)
+from .timing import Timer, TimingLog, percentile, time_call, time_per_thousand
 
 __all__ = [
     "DEFAULT_SEED", "make_rng", "spawn_rng", "sample_without_replacement",
     "render_table", "render_metric_table", "render_series", "best_in_column",
-    "Timer", "TimingLog", "time_call", "time_per_thousand",
+    "emit_table",
+    "Timer", "TimingLog", "percentile", "time_call", "time_per_thousand",
     "AsciiCanvas", "render_network",
 ]

@@ -94,3 +94,15 @@ def best_in_column(
         raise KeyError(f"metric {metric!r} not present in any result")
     chooser = max if maximize else min
     return chooser(items, key=items.get)
+
+
+def emit_table(text: str) -> None:
+    """Print a rendered report through the structured telemetry logger.
+
+    All report output funnels through here (rather than bare ``print``) so
+    severity filtering and ``--quiet`` apply uniformly across the CLI and
+    the benchmark harness.
+    """
+    from ..telemetry.log import emit
+
+    emit(text)

@@ -10,30 +10,54 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 
 class Timer:
-    """Context-manager stopwatch.
+    """Re-entrant, reusable context-manager stopwatch.
 
-    >>> with Timer() as t:
-    ...     _ = sum(range(1000))
-    >>> t.elapsed >= 0.0
+    Each completed ``with`` block appends a lap to :attr:`laps`;
+    :attr:`elapsed` is the most recent lap (backwards compatible) and
+    :attr:`total` the sum of all laps.  Entries may nest on the same
+    instance — starts are kept on a stack — so a timer can wrap both an
+    outer loop and its body without losing measurements.
+
+    >>> t = Timer()
+    >>> for _ in range(2):
+    ...     with t:
+    ...         _ = sum(range(1000))
+    >>> len(t.laps) == 2 and t.total >= t.elapsed >= 0.0
     True
     """
 
     def __init__(self) -> None:
         self.elapsed = 0.0
-        self._start: Optional[float] = None
+        self.laps: List[float] = []
+        self._starts: List[float] = []
+
+    @property
+    def total(self) -> float:
+        """Sum of all completed laps."""
+        return sum(self.laps)
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self.laps.clear()
+        self._starts.clear()
 
     def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
+        self._starts.append(time.perf_counter())
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        assert self._start is not None
-        self.elapsed = time.perf_counter() - self._start
-        self._start = None
+        assert self._starts, "Timer.__exit__ without a matching __enter__"
+        self.elapsed = time.perf_counter() - self._starts.pop()
+        self.laps.append(self.elapsed)
+
+
+# Canonical implementation lives in the (import-cycle-free) telemetry core;
+# re-exported here because timing percentiles belong to this module's API.
+from ..telemetry.metrics import percentile  # noqa: E402  (re-export)
 
 
 @dataclass
@@ -53,6 +77,20 @@ class TimingLog:
         if not values:
             return 0.0
         return sum(values) / len(values)
+
+    def percentile(self, name: str, q: float) -> float:
+        """The ``q``-th percentile of the named samples (0.0 when absent)."""
+        return percentile(self.samples.get(name, []), q)
+
+    def p50(self, name: str) -> float:
+        return self.percentile(name, 50.0)
+
+    def p95(self, name: str) -> float:
+        return self.percentile(name, 95.0)
+
+    def max(self, name: str) -> float:
+        values = self.samples.get(name, [])
+        return max(values) if values else 0.0
 
 
 def time_call(fn: Callable[[], object]) -> float:

@@ -1,0 +1,418 @@
+"""The telemetry subsystem: spans, metrics, caches, exporters, overhead.
+
+Covers the ISSUE 2 acceptance surface: span nesting/attribution
+correctness, histogram bucket edges, enable/disable toggling, exporter
+golden files, the central cache registry, and a ``perf_smoke``-marked
+bound on disabled-mode overhead against the fig9 micro-benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import caches as telemetry_caches
+from repro.telemetry.metrics import Histogram, MetricsRegistry, percentile
+from repro.telemetry.state import _env_enabled
+from repro.network.cache import LRUCache
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
+
+
+@pytest.fixture()
+def clean_telemetry():
+    """Fresh registry + disabled telemetry, prior state restored after."""
+    was_enabled = telemetry.enabled()
+    telemetry.disable()
+    telemetry.reset()
+    yield
+    telemetry.reset()
+    if was_enabled:
+        telemetry.enable()
+    else:
+        telemetry.disable()
+
+
+class TestToggle:
+    def test_enable_disable_roundtrip(self, clean_telemetry):
+        assert not telemetry.enabled()
+        telemetry.enable()
+        assert telemetry.enabled()
+        telemetry.disable()
+        assert not telemetry.enabled()
+
+    def test_enabled_scope_restores(self, clean_telemetry):
+        with telemetry.enabled_scope(True):
+            assert telemetry.enabled()
+        assert not telemetry.enabled()
+        telemetry.enable()
+        with telemetry.enabled_scope(False):
+            assert not telemetry.enabled()
+        assert telemetry.enabled()
+
+    def test_env_parsing(self):
+        for value in ("1", "true", "yes", "on", "anything"):
+            assert _env_enabled(value)
+        for value in ("", "0", "false", "no", "off", " 0 ", "FALSE"):
+            assert not _env_enabled(value)
+
+    def test_disabled_spans_record_nothing(self, clean_telemetry):
+        with telemetry.span("ghost"):
+            pass
+        telemetry.inc("ghost_counter")
+        telemetry.set_gauge("ghost_gauge", 1.0)
+        telemetry.observe("ghost_hist", 1.0)
+        registry = telemetry.get_registry()
+        assert not registry.spans
+        assert not registry.counters
+        assert not registry.gauges
+        assert not registry.histograms
+
+
+class TestSpans:
+    def test_nesting_builds_paths(self, clean_telemetry):
+        telemetry.enable()
+        with telemetry.span("a"):
+            with telemetry.span("b"):
+                pass
+            with telemetry.span("b"):
+                pass
+        with telemetry.span("c"):
+            pass
+        spans = telemetry.get_registry().spans
+        assert set(spans) == {("a",), ("a", "b"), ("c",)}
+        assert spans[("a", "b")].count == 2
+        assert spans[("a",)].count == 1
+
+    def test_self_time_attribution(self, clean_telemetry):
+        registry = telemetry.get_registry()
+        registry.record_span(("root",), 1.0)
+        registry.record_span(("root", "x"), 0.3)
+        registry.record_span(("root", "x", "deep"), 0.1)
+        registry.record_span(("root", "y"), 0.2)
+        assert registry.self_seconds(("root",)) == pytest.approx(0.5)
+        assert registry.self_seconds(("root", "x")) == pytest.approx(0.2)
+        # Self times over the whole tree sum to the root total exactly.
+        stages = registry.stage_totals()
+        assert sum(stages.values()) == pytest.approx(1.0)
+        assert stages["x"] == pytest.approx(0.2)
+        assert stages["deep"] == pytest.approx(0.1)
+
+    def test_nested_same_name_not_double_counted(self, clean_telemetry):
+        # stitch -> plan both record as "routing"; stage totals must equal
+        # the outer span's total, not outer + inner.
+        registry = telemetry.get_registry()
+        registry.record_span(("routing",), 1.0)
+        registry.record_span(("routing", "routing"), 0.6)
+        assert registry.stage_totals()["routing"] == pytest.approx(1.0)
+
+    def test_span_survives_exception(self, clean_telemetry):
+        telemetry.enable()
+        with pytest.raises(RuntimeError):
+            with telemetry.span("boom"):
+                raise RuntimeError("x")
+        assert ("boom",) in telemetry.get_registry().spans
+        assert telemetry.current_path() == ()
+
+    def test_traced_decorator_bare_and_named(self, clean_telemetry):
+        telemetry.enable()
+
+        @telemetry.traced
+        def alpha():
+            return 1
+
+        @telemetry.traced("custom")
+        def beta():
+            return 2
+
+        assert alpha() == 1 and beta() == 2
+        spans = telemetry.get_registry().spans
+        assert ("alpha",) in spans and ("custom",) in spans
+
+    def test_timed_epoch_records_training_metrics(self, clean_telemetry):
+        telemetry.enable()
+        with telemetry.timed_epoch("MMA", n_samples=10) as epoch:
+            epoch.loss = 0.5
+        registry = telemetry.get_registry()
+        assert registry.counters["train.MMA.epochs"].value == 1
+        assert registry.counters["train.MMA.samples"].value == 10
+        assert registry.gauges["train.MMA.loss"].value == 0.5
+        assert registry.gauges["train.MMA.samples_per_s"].value > 0
+
+
+class TestMetrics:
+    def test_counter_monotonic(self, clean_telemetry):
+        registry = telemetry.get_registry()
+        registry.inc("n", 2)
+        registry.inc("n")
+        assert registry.counters["n"].value == 3
+        with pytest.raises(ValueError):
+            registry.inc("n", -1)
+
+    def test_histogram_bucket_edges(self):
+        hist = Histogram("h", buckets=(1.0, 2.0, 5.0))
+        for value in (0.5, 1.0, 1.5, 2.0, 2.5, 5.0, 5.1):
+            hist.observe(value)
+        # le-semantics: a value exactly on an edge lands in that bucket.
+        assert hist.counts == [2, 2, 2, 1]
+        assert hist.count == 7
+        assert hist.cumulative() == [
+            (1.0, 2), (2.0, 4), (5.0, 6), (float("inf"), 7)
+        ]
+
+    def test_histogram_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(2.0, 1.0))
+
+    def test_percentile(self):
+        assert percentile([], 50) == 0.0
+        assert percentile([3.0], 95) == 3.0
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
+        assert percentile([1.0, 2.0, 3.0, 4.0], 100) == 4.0
+        with pytest.raises(ValueError):
+            percentile([1.0], 200)
+
+    def test_span_samples_capped(self, clean_telemetry):
+        from repro.telemetry.metrics import MAX_SPAN_SAMPLES
+
+        registry = telemetry.get_registry()
+        for _ in range(MAX_SPAN_SAMPLES + 10):
+            registry.record_span(("hot",), 0.001)
+        stats = registry.spans[("hot",)]
+        assert stats.count == MAX_SPAN_SAMPLES + 10
+        assert len(stats.samples) == MAX_SPAN_SAMPLES
+
+
+def _golden_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.inc("decoded_points", 7)
+    registry.set_gauge("cache_hit_ratio", 0.75)
+    for value in (0.01, 0.05, 0.06, 2.5):
+        registry.observe("plan_seconds", value, buckets=(0.01, 0.1, 1.0))
+    registry.record_span(("inference",), 1.0)
+    registry.record_span(("inference", "model"), 0.125)
+    registry.record_span(("inference", "model"), 0.125)
+    return registry
+
+
+class TestExporters:
+    def test_prometheus_golden(self, clean_telemetry, monkeypatch):
+        monkeypatch.setattr(telemetry_caches, "_caches", {})
+        golden = (GOLDEN_DIR / "telemetry_prometheus.txt").read_text()
+        assert telemetry.prometheus_text(_golden_registry()) == golden
+
+    def test_json_snapshot_golden(self, clean_telemetry, monkeypatch):
+        monkeypatch.setattr(telemetry_caches, "_caches", {})
+        golden = json.loads(
+            (GOLDEN_DIR / "telemetry_snapshot.json").read_text()
+        )
+        assert telemetry.json_snapshot(_golden_registry()) == golden
+
+    def test_span_tree_render(self, clean_telemetry):
+        out = telemetry.render_span_tree(_golden_registry())
+        lines = out.splitlines()
+        assert "inference" in lines[2]
+        assert lines[3].startswith("  model")  # child indented under parent
+        assert "p95 ms" in lines[0]
+
+    def test_stage_table_orders_pipeline_stages_first(self):
+        stages = {"zeta": 0.1, "model": 0.2, "candidates": 0.3}
+        out = telemetry.render_stage_table(stages, window_seconds=0.6)
+        lines = out.splitlines()
+        order = [line.split()[0] for line in lines[2:-2]]
+        assert order == ["candidates", "model", "zeta"]
+        assert "coverage 100.0%" in lines[-1]
+
+    def test_empty_renders_degrade_gracefully(self, clean_telemetry):
+        assert "no spans" in telemetry.render_span_tree()
+        assert "no stage timings" in telemetry.render_stage_table({})
+
+
+class TestCaptureStages:
+    def test_capture_enables_only_inside_block(self, clean_telemetry):
+        assert not telemetry.enabled()
+        with telemetry.capture_stages() as capture:
+            assert telemetry.enabled()
+            with telemetry.span("model"):
+                time.sleep(0.002)
+        assert not telemetry.enabled()
+        assert capture.stages["model"] > 0
+        assert capture.window_seconds >= capture.stages["model"]
+        assert 0 < capture.coverage <= 1.0
+
+    def test_capture_diffs_preexisting_spans(self, clean_telemetry):
+        telemetry.enable()
+        registry = telemetry.get_registry()
+        registry.record_span(("model",), 100.0)  # stale pre-capture time
+        with telemetry.capture_stages() as capture:
+            with telemetry.span("model"):
+                time.sleep(0.001)
+        assert capture.stages["model"] < 1.0  # only the in-block delta
+
+    def test_capture_nested_self_time(self, clean_telemetry):
+        with telemetry.capture_stages() as capture:
+            with telemetry.span("features"):
+                with telemetry.span("candidates"):
+                    time.sleep(0.002)
+        assert set(capture.stages) >= {"features", "candidates"}
+        assert capture.stages["candidates"] >= 0.001
+
+
+class TestCacheRegistry:
+    def test_register_and_report(self):
+        cache = LRUCache(capacity=4)
+        name = telemetry.register_cache("test.lru", cache)
+        try:
+            cache.put("a", 1)
+            cache.get("a")
+            cache.get("missing")
+            info = telemetry.all_cache_info()[name]
+            assert info.hits == 1 and info.misses == 1
+            assert info.hit_rate == pytest.approx(0.5)
+            report = telemetry.cache_report()
+            assert name in report and "50.0%" in report
+        finally:
+            telemetry.unregister_cache(name)
+
+    def test_size_probe_and_dedup(self):
+        class Owner:
+            table = [1, 2, 3]
+
+        owner_a, owner_b = Owner(), Owner()
+        first = telemetry.register_cache(
+            "test.table", owner_a, telemetry.size_probe("table")
+        )
+        second = telemetry.register_cache(
+            "test.table", owner_b, telemetry.size_probe("table")
+        )
+        try:
+            assert first == "test.table"
+            assert second != first  # deduplicated with a suffix
+            info = telemetry.all_cache_info()
+            assert info[second].size == 3
+            assert info[second].hit_rate is None
+        finally:
+            telemetry.unregister_cache(first)
+            telemetry.unregister_cache(second)
+
+    def test_dead_owners_are_pruned(self):
+        cache = LRUCache(capacity=4)
+        name = telemetry.register_cache("test.ephemeral", cache)
+        assert name in telemetry.all_cache_info()
+        del cache
+        assert name not in telemetry.all_cache_info()
+
+    def test_pipeline_caches_registered(self, tiny_dataset):
+        from repro.network.routing import DARoutePlanner
+
+        planner = DARoutePlanner(tiny_dataset.network)
+        info = telemetry.all_cache_info()
+        assert any(n.startswith("network.route_cache") for n in info)
+        assert any(n.startswith("network.successor_table") for n in info)
+        assert any(n.startswith("planner.route_cache") for n in info)
+        assert any(n.startswith("planner.cost_cache") for n in info)
+        del planner
+
+
+# --------------------------------------------------------------- end to end
+
+
+@pytest.fixture(scope="module")
+def telemetry_matcher():
+    from repro.data.datasets import build_dataset
+    from repro.matching.mma.matcher import MMAMatcher
+    from repro.network.node2vec import Node2VecConfig
+
+    dataset = build_dataset("PT", n_trips=24, seed=19)
+    matcher = MMAMatcher(
+        dataset.network, d0=16, d2=16, ffn_hidden=32,
+        node2vec_config=Node2VecConfig(
+            dimensions=16, walk_length=8, walks_per_node=2, window=3,
+            negatives=2, epochs=1,
+        ),
+        seed=7,
+    )
+    matcher.fit_epoch(dataset)
+    return dataset, matcher
+
+
+class TestPipelineInstrumentation:
+    def test_match_many_produces_stage_tree(
+        self, telemetry_matcher, clean_telemetry
+    ):
+        dataset, matcher = telemetry_matcher
+        trajectories = [s.sparse for s in dataset.test]
+        with telemetry.capture_stages() as capture:
+            matcher.match_many(trajectories, batch_size=8)
+        assert {"candidates", "features", "model", "routing"} <= set(
+            capture.stages
+        )
+
+    def test_results_identical_enabled_vs_disabled(
+        self, telemetry_matcher, clean_telemetry
+    ):
+        dataset, matcher = telemetry_matcher
+        trajectories = [s.sparse for s in dataset.test]
+        disabled = matcher.match_many(trajectories, batch_size=8)
+        telemetry.enable()
+        enabled = matcher.match_many(trajectories, batch_size=8)
+        assert enabled == disabled
+
+    def test_fig9_stage_sum_matches_wall_clock(
+        self, telemetry_matcher, clean_telemetry
+    ):
+        """Acceptance: stage breakdown sums to ~the measured wall clock."""
+        from repro.eval.efficiency import matching_inference_time_batched
+
+        dataset, matcher = telemetry_matcher
+        matcher.match_many([s.sparse for s in dataset.test[:2]], batch_size=2)
+        with telemetry.capture_stages() as capture:
+            matching_inference_time_batched(matcher, dataset, batch_size=8)
+        assert capture.stages, "no stages captured"
+        total = sum(capture.stages.values())
+        assert total == pytest.approx(capture.window_seconds, rel=0.10)
+
+
+@pytest.mark.perf_smoke
+def test_disabled_overhead_negligible(telemetry_matcher, clean_telemetry):
+    """Disabled-mode telemetry must cost <2% of fig9 micro-benchmark time.
+
+    The per-match overhead is (spans per trajectory) x (disabled span
+    cost); both factors are measured here rather than assumed.
+    """
+    dataset, matcher = telemetry_matcher
+    trajectories = [s.sparse for s in dataset.test]
+    matcher.match_many(trajectories[:2], batch_size=2)  # warm caches
+
+    n_calls = 100_000
+    start = time.perf_counter()
+    for _ in range(n_calls):
+        with telemetry.span("overhead-probe"):
+            pass
+    span_cost = (time.perf_counter() - start) / n_calls
+
+    start = time.perf_counter()
+    matcher.match_many(trajectories, batch_size=8)
+    per_match = (time.perf_counter() - start) / len(trajectories)
+
+    # Count the spans one batched match actually opens (features, nested
+    # candidates, per-bucket model, per-trajectory stitch + per-leg plans).
+    with telemetry.capture_stages():
+        matcher.match_many(trajectories, batch_size=8)
+    span_count = sum(
+        s.count for s in telemetry.get_registry().spans.values()
+    )
+    spans_per_match = span_count / len(trajectories)
+
+    overhead_fraction = spans_per_match * span_cost / per_match
+    assert overhead_fraction < 0.02, (
+        f"disabled telemetry costs {overhead_fraction:.2%} of a match "
+        f"({spans_per_match:.1f} spans x {span_cost * 1e9:.0f} ns "
+        f"vs {per_match * 1e3:.2f} ms per trajectory)"
+    )

@@ -66,6 +66,52 @@ class TestTiming:
         assert log.mean("x") == 2.0
         assert log.mean("missing") == 0.0
 
+    def test_timer_is_reusable(self):
+        t = Timer()
+        with t:
+            sum(range(1000))
+        first = t.elapsed
+        with t:
+            sum(range(1000))
+        assert len(t.laps) == 2
+        assert t.laps[0] == first
+        assert t.elapsed == t.laps[1]
+        assert t.total == pytest.approx(sum(t.laps))
+
+    def test_timer_is_reentrant(self):
+        t = Timer()
+        with t:
+            with t:
+                sum(range(1000))
+        # Inner lap finishes first, outer lap covers it.
+        assert len(t.laps) == 2
+        assert t.laps[1] >= t.laps[0]
+
+    def test_timer_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.laps == []
+        assert t.total == 0.0
+
+    def test_timing_log_percentiles(self):
+        log = TimingLog()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            log.add("x", v)
+        assert log.p50("x") == pytest.approx(2.5)
+        assert log.p95("x") == pytest.approx(3.85)
+        assert log.max("x") == 4.0
+        assert log.p50("missing") == 0.0
+        assert log.max("missing") == 0.0
+
+    def test_timing_log_percentile_arbitrary_q(self):
+        log = TimingLog()
+        log.add("x", 1.0)
+        log.add("x", 3.0)
+        assert log.percentile("x", 0) == 1.0
+        assert log.percentile("x", 100) == 3.0
+
 
 class TestTables:
     def test_format_cell(self):
