@@ -3,6 +3,8 @@ Recovery and Map Matching" (TRMMA / MMA, ICDE 2025).
 
 Public API quick reference
 --------------------------
+Pipeline:   Pipeline.from_config(network, PipelineConfig(...)) — the facade
+Configs:    PipelineConfig, MMAConfig, TRMMAConfig, EngineConfig
 Data:       build_dataset("PT"), Trajectory, MapMatchedPoint, ...
 Matching:   MMAMatcher, HMMMatcher, FMMMatcher, NearestMatcher, ...
 Recovery:   TRMMARecoverer, MTrajRecRecoverer, LinearInterpolationRecoverer, ...
@@ -49,10 +51,15 @@ from .recovery import (
     make_trmma,
 )
 
+# Imported last: the facade reaches back into the subpackages above.
+from .api import Pipeline
+from .config import EngineConfig, MMAConfig, PipelineConfig, TRMMAConfig
+
 __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "Pipeline", "PipelineConfig", "MMAConfig", "TRMMAConfig", "EngineConfig",
     "build_dataset", "Dataset", "DATASET_NAMES",
     "GPSPoint", "Trajectory", "MapMatchedPoint", "MatchedTrajectory",
     "TrajectorySample",

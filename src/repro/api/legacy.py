@@ -1,0 +1,89 @@
+"""Deprecated pre-Pipeline entry points, kept as thin aliases.
+
+Every function here emits a :class:`DeprecationWarning` and delegates to
+the :class:`~repro.api.Pipeline` facade (or the factory it superseded), so
+existing callers keep working with bit-identical results while the warning
+points at the replacement.  See ``docs/API.md`` for the migration table.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import List, Optional, Sequence
+
+from ..config import EngineConfig
+from ..data.trajectory import MatchedTrajectory, Trajectory
+from ..matching.base import MapMatcher
+from ..recovery.trmma.ablations import make_trmma as _make_trmma
+from ..recovery.trmma.recoverer import TRMMARecoverer
+from .pipeline import Pipeline
+
+
+def _warn(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def make_trmma(*args, **kwargs) -> TRMMARecoverer:
+    """Deprecated alias of :func:`repro.recovery.make_trmma`.
+
+    Prefer ``Pipeline.from_config(network, PipelineConfig(...))`` — the
+    variant knob only matters for the Table IV ablations, which keep using
+    the underlying factory directly.
+    """
+    _warn("repro.api.legacy.make_trmma()", "Pipeline.from_config()")
+    return _make_trmma(*args, **kwargs)
+
+
+def match_trajectories(
+    matcher: MapMatcher,
+    trajectories: Sequence[Trajectory],
+    batch_size: int = 32,
+) -> List[List[int]]:
+    """Deprecated alias of the old ``matcher.match_many(...)`` call shape."""
+    _warn(
+        "repro.api.legacy.match_trajectories()",
+        "Pipeline.from_components(matcher).match()",
+    )
+    with Pipeline.from_components(
+        matcher, engine=EngineConfig(engine="serial", batch_size=batch_size)
+    ) as pipeline:
+        return pipeline.match(trajectories)
+
+
+def match_trajectory_points(
+    matcher: MapMatcher,
+    trajectories: Sequence[Trajectory],
+    batch_size: int = 32,
+) -> List[List[int]]:
+    """Deprecated alias of the old ``matcher.match_points_many(...)`` shape."""
+    _warn(
+        "repro.api.legacy.match_trajectory_points()",
+        "Pipeline.from_components(matcher).match_points()",
+    )
+    with Pipeline.from_components(
+        matcher, engine=EngineConfig(engine="serial", batch_size=batch_size)
+    ) as pipeline:
+        return pipeline.match_points(trajectories)
+
+
+def recover_trajectories(
+    recoverer: TRMMARecoverer,
+    trajectories: Sequence[Trajectory],
+    epsilon: float,
+    batch_size: int = 32,
+) -> List[MatchedTrajectory]:
+    """Deprecated alias of the old ``recoverer.recover_many(...)`` shape."""
+    _warn(
+        "repro.api.legacy.recover_trajectories()",
+        "Pipeline.from_components(matcher, recoverer).recover()",
+    )
+    with Pipeline.from_components(
+        recoverer.matcher,
+        recoverer,
+        engine=EngineConfig(engine="serial", batch_size=batch_size),
+    ) as pipeline:
+        return pipeline.recover(trajectories, epsilon)

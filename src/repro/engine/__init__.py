@@ -1,0 +1,61 @@
+"""Execution engines: in-process serial and multi-process parallel.
+
+The engines share one batch-first interface — ``match_points`` / ``match``
+/ ``recover`` / ``match_and_recover`` — and are interchangeable:
+:class:`ParallelEngine` is bit-exact with :class:`SerialEngine` by
+construction (same batched inference code in every worker, submission-order
+reassembly).  :func:`build_engine` picks the implementation from an
+:class:`~repro.config.EngineConfig`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import EngineConfig
+from ..matching.base import MapMatcher
+from ..recovery.trmma.recoverer import TRMMARecoverer
+from .parallel import ParallelEngine
+from .payload import (
+    pack_matched,
+    pack_trajectories,
+    unpack_matched,
+    unpack_trajectories,
+)
+from .serial import SerialEngine
+from .spec import WorkerSpec, build_worker_runtime, build_worker_spec
+
+__all__ = [
+    "EngineConfig",
+    "ParallelEngine",
+    "SerialEngine",
+    "WorkerSpec",
+    "build_engine",
+    "build_worker_runtime",
+    "build_worker_spec",
+    "pack_matched",
+    "pack_trajectories",
+    "unpack_matched",
+    "unpack_trajectories",
+]
+
+
+def build_engine(
+    matcher: MapMatcher,
+    recoverer: Optional[TRMMARecoverer] = None,
+    config: Optional[EngineConfig] = None,
+):
+    """Engine for ``config``: serial when it resolves to 0 workers.
+
+    The parallel engine requires MMA (its worker spec rebuilds the MMA
+    model); other matchers always run serially.
+    """
+    config = config or EngineConfig()
+    workers = config.resolve_workers()
+    if workers <= 0:
+        return SerialEngine(matcher, recoverer, config)
+    from ..matching.mma.matcher import MMAMatcher
+
+    if not isinstance(matcher, MMAMatcher):
+        return SerialEngine(matcher, recoverer, config)
+    return ParallelEngine(matcher, recoverer, config, workers=workers)

@@ -1,0 +1,91 @@
+"""Array packing of trajectories and results for worker IPC.
+
+Chunks cross the process boundary constantly, so instead of pickling deep
+lists of frozen dataclass points, trajectories and matched trajectories are
+flattened to a handful of NumPy arrays (which pickle as raw buffers).  All
+fields are carried as float64/int64 exactly as stored, so a pack/unpack
+round trip is bitwise lossless.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..data.trajectory import (
+    GPSPoint,
+    MapMatchedPoint,
+    MatchedTrajectory,
+    Trajectory,
+)
+
+#: Packed trajectories: (per-trajectory lengths, (N, 5) x/y/t/lat/lng rows).
+PackedTrajectories = Tuple[np.ndarray, np.ndarray]
+#: Packed matched trajectories: (lengths, edge ids, ratios, timestamps).
+PackedMatched = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
+
+def pack_trajectories(trajectories: Sequence[Trajectory]) -> PackedTrajectories:
+    lengths = np.array([len(t) for t in trajectories], dtype=np.int64)
+    data = np.empty((int(lengths.sum()), 5), dtype=np.float64)
+    row = 0
+    for trajectory in trajectories:
+        for p in trajectory:
+            data[row] = (p.x, p.y, p.t, p.lat, p.lng)
+            row += 1
+    return lengths, data
+
+
+def unpack_trajectories(packed: PackedTrajectories) -> List[Trajectory]:
+    lengths, data = packed
+    trajectories: List[Trajectory] = []
+    row = 0
+    for n in lengths:
+        points = [
+            GPSPoint(
+                x=float(data[i, 0]),
+                y=float(data[i, 1]),
+                t=float(data[i, 2]),
+                lat=float(data[i, 3]),
+                lng=float(data[i, 4]),
+            )
+            for i in range(row, row + int(n))
+        ]
+        trajectories.append(Trajectory(points))
+        row += int(n)
+    return trajectories
+
+
+def pack_matched(matched: Sequence[MatchedTrajectory]) -> PackedMatched:
+    lengths = np.array([len(m) for m in matched], dtype=np.int64)
+    total = int(lengths.sum())
+    edges = np.empty(total, dtype=np.int64)
+    ratios = np.empty(total, dtype=np.float64)
+    times = np.empty(total, dtype=np.float64)
+    row = 0
+    for trajectory in matched:
+        for p in trajectory:
+            edges[row] = p.edge_id
+            ratios[row] = p.ratio
+            times[row] = p.t
+            row += 1
+    return lengths, edges, ratios, times
+
+
+def unpack_matched(packed: PackedMatched) -> List[MatchedTrajectory]:
+    lengths, edges, ratios, times = packed
+    matched: List[MatchedTrajectory] = []
+    row = 0
+    for n in lengths:
+        points = [
+            MapMatchedPoint(
+                edge_id=int(edges[i]),
+                ratio=float(ratios[i]),
+                t=float(times[i]),
+            )
+            for i in range(row, row + int(n))
+        ]
+        matched.append(MatchedTrajectory(points))
+        row += int(n)
+    return matched

@@ -3,7 +3,9 @@
 from .efficiency import (
     efficiency_report,
     matching_inference_time,
+    matching_inference_time_engine,
     recovery_inference_time,
+    recovery_inference_time_engine,
     training_time_per_epoch,
 )
 from .evaluate import evaluate_matching, evaluate_recovery, train_method
@@ -21,5 +23,6 @@ __all__ = [
     "RECOVERY_METRICS", "MATCHING_METRICS",
     "evaluate_recovery", "evaluate_matching", "train_method",
     "recovery_inference_time", "matching_inference_time",
+    "recovery_inference_time_engine", "matching_inference_time_engine",
     "training_time_per_epoch", "efficiency_report",
 ]

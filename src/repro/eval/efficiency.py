@@ -100,6 +100,48 @@ def matching_inference_time_batched(
     return time_call(run) * 1000.0 / len(samples)
 
 
+def recovery_inference_time_engine(
+    engine,
+    dataset: Dataset,
+    samples: Optional[Sequence[TrajectorySample]] = None,
+) -> float:
+    """Seconds per 1000 recoveries through an execution engine.
+
+    Works with both :class:`~repro.engine.SerialEngine` and
+    :class:`~repro.engine.ParallelEngine`; call the engine's ``warm_up()``
+    (pool start + worker runtime rebuild) before timing a parallel one so
+    the measured window is steady-state throughput.
+    """
+    samples = dataset.test if samples is None else samples
+    if not samples:
+        raise ValueError("no samples to time")
+    trajectories = [sample.sparse for sample in samples]
+
+    def run() -> None:
+        with span("inference"):
+            engine.recover(trajectories, dataset.epsilon)
+
+    return time_call(run) * 1000.0 / len(samples)
+
+
+def matching_inference_time_engine(
+    engine,
+    dataset: Dataset,
+    samples: Optional[Sequence[TrajectorySample]] = None,
+) -> float:
+    """Seconds per 1000 map matchings through an execution engine."""
+    samples = dataset.test if samples is None else samples
+    if not samples:
+        raise ValueError("no samples to time")
+    trajectories = [sample.sparse for sample in samples]
+
+    def run() -> None:
+        with span("inference"):
+            engine.match(trajectories)
+
+    return time_call(run) * 1000.0 / len(samples)
+
+
 def training_time_per_epoch(method, dataset: Dataset) -> float:
     """Wall-clock seconds of one training epoch of ``method``."""
 

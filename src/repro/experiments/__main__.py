@@ -14,6 +14,7 @@ persisted artefact files matter).
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
 from .. import telemetry
@@ -34,6 +35,14 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--scale", choices=sorted(SCALES), default="bench")
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parallel-engine workers for the efficiency figures "
+        "(fig5/fig9 gain an 'x N' row; 0 or unset = serial only)",
+    )
+    parser.add_argument(
         "--telemetry-report",
         action="store_true",
         help="enable telemetry and print the span tree + cache report",
@@ -45,6 +54,8 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
     scale = SCALES[args.scale]
+    if args.workers is not None:
+        scale = dataclasses.replace(scale, workers=max(args.workers, 0))
     set_quiet(args.quiet)
     if args.telemetry_report:
         telemetry.enable()

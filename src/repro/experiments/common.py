@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, Tuple
 
+from ..config import EngineConfig, MMAConfig, TRMMAConfig
 from ..data.datasets import Dataset, build_dataset
 from ..matching import (
     DeepMMMatcher,
@@ -57,6 +58,9 @@ class ExperimentScale:
     datasets: Tuple[str, ...]
     d_h: int = 32
     seed: int = 11
+    #: Parallel-engine worker processes for the efficiency figures
+    #: (0 = serial only; set via ``--workers`` on the CLI).
+    workers: int = 0
 
 
 TINY = ExperimentScale("tiny", n_trips=30, epochs=2, matcher_epochs=3,
@@ -74,6 +78,25 @@ BENCH_BATCH_SIZE = 32
 FAST_NODE2VEC = Node2VecConfig(
     dimensions=32, walk_length=12, walks_per_node=2, window=3, negatives=3, epochs=1
 )
+
+def mma_config(scale: ExperimentScale) -> MMAConfig:
+    """The experiment-scale MMA hyperparameters as a typed config."""
+    return MMAConfig(d0=scale.d_h, d2=scale.d_h, node2vec=FAST_NODE2VEC)
+
+
+def trmma_config(scale: ExperimentScale) -> TRMMAConfig:
+    """The experiment-scale TRMMA hyperparameters as a typed config."""
+    return TRMMAConfig(d_h=scale.d_h, ffn_hidden=4 * scale.d_h)
+
+
+def engine_config(scale: ExperimentScale, batch_size: int = BENCH_BATCH_SIZE) -> EngineConfig:
+    """Engine selection for the efficiency figures at this scale."""
+    if scale.workers > 0:
+        return EngineConfig(
+            engine="parallel", workers=scale.workers, batch_size=batch_size
+        )
+    return EngineConfig(engine="serial", batch_size=batch_size)
+
 
 _dataset_cache: Dict[Tuple[str, str], Dataset] = {}
 _distance_cache: Dict[Tuple[str, str], NetworkDistance] = {}
@@ -124,9 +147,8 @@ def build_matchers(
         "RNTrajRec": ModelRouteMatcher(rn_model, name="RNTrajRec"),
         "DeepMM": DeepMMMatcher(net, seed=seed),
         "GraphMM": GraphMMMatcher(net, seed=seed),
-        "MMA": MMAMatcher(
-            net, d0=scale.d_h, d2=scale.d_h,
-            node2vec_config=FAST_NODE2VEC, seed=seed,
+        "MMA": MMAMatcher.from_config(
+            net, mma_config(scale), seed=seed,
         ),
     }
     for matcher in matchers.values():
@@ -183,9 +205,7 @@ def build_recoverers(
 
     fmm = FMMMatcher(net)
     attach_planner_statistics(fmm, stats)
-    mma = MMAMatcher(
-        net, d0=d_h, d2=d_h, node2vec_config=FAST_NODE2VEC, seed=seed
-    )
+    mma = MMAMatcher.from_config(net, mma_config(scale), seed=seed)
     attach_planner_statistics(mma, stats)
 
     return {
@@ -198,7 +218,9 @@ def build_recoverers(
         "MTrajRec": MTrajRecRecoverer(net, d_h=d_h, seed=seed),
         "MM-STGED": MMSTGEDRecoverer(net, d_h=d_h, statistics=stats, seed=seed),
         "RNTrajRec": RNTrajRecRecoverer(net, d_h=d_h, seed=seed),
-        "TRMMA": TRMMARecoverer(net, mma, d_h=d_h, ffn_hidden=4 * d_h, seed=seed),
+        "TRMMA": TRMMARecoverer.from_config(
+            net, mma, trmma_config(scale), seed=seed
+        ),
     }
 
 

@@ -15,6 +15,7 @@ from typing import Dict
 from ..eval.efficiency import (
     recovery_inference_time,
     recovery_inference_time_batched,
+    recovery_inference_time_engine,
 )
 from ..telemetry import capture_stages, render_stage_table
 from ..utils.tables import render_metric_table
@@ -22,6 +23,7 @@ from .common import (
     BENCH,
     BENCH_BATCH_SIZE,
     ExperimentScale,
+    engine_config,
     get_dataset,
     trained_recoverers,
 )
@@ -54,6 +56,17 @@ def run(scale: ExperimentScale = BENCH) -> Dict[str, Dict[str, object]]:
             matcher = getattr(trmma, "matcher", None)
             if matcher is not None:
                 times[ROUTE_CACHE_KEY] = matcher.planner.cache_info().hit_rate
+            if scale.workers > 0:
+                from ..engine import ParallelEngine
+
+                with ParallelEngine(
+                    trmma.matcher, trmma,
+                    engine_config(scale, BENCH_BATCH_SIZE),
+                ) as engine:
+                    engine.warm_up()
+                    times[f"TRMMA (parallel x{engine.workers})"] = (
+                        recovery_inference_time_engine(engine, dataset)
+                    )
         results[name] = times
     return results
 

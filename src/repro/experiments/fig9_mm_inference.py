@@ -19,6 +19,7 @@ from typing import Dict
 from ..eval.efficiency import (
     matching_inference_time,
     matching_inference_time_batched,
+    matching_inference_time_engine,
 )
 from ..telemetry import capture_stages, render_stage_table
 from ..utils.tables import render_metric_table
@@ -26,6 +27,7 @@ from .common import (
     BENCH,
     BENCH_BATCH_SIZE,
     ExperimentScale,
+    engine_config,
     get_dataset,
     trained_matchers,
 )
@@ -52,6 +54,17 @@ def run(scale: ExperimentScale = BENCH) -> Dict[str, Dict[str, object]]:
                 )
             times[STAGES_KEY] = dict(capture.stages)
             times[STAGE_WINDOW_KEY] = capture.window_seconds
+            if scale.workers > 0:
+                from ..engine import ParallelEngine
+
+                with ParallelEngine(
+                    matchers["MMA"],
+                    config=engine_config(scale, BENCH_BATCH_SIZE),
+                ) as engine:
+                    engine.warm_up()
+                    times[f"MMA (parallel x{engine.workers})"] = (
+                        matching_inference_time_engine(engine, dataset)
+                    )
         results[name] = times
     return results
 

@@ -12,6 +12,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ...config import MMAConfig
 from ...data.trajectory import Trajectory
 from ...network.node2vec import Node2VecConfig, train_node2vec
 from ...network.road_network import RoadNetwork
@@ -58,6 +59,21 @@ class MMAMatcher(MapMatcher):
         seed: SeedLike = None,
     ) -> None:
         super().__init__(network, planner)
+        #: The validated hyperparameter record equivalent to this instance;
+        #: the Pipeline facade and the parallel engine rebuild matchers
+        #: from it (see :meth:`from_config`).
+        self.config = MMAConfig(
+            k_c=k_c,
+            d0=d0,
+            d2=d2,
+            ffn_hidden=ffn_hidden,
+            lr=lr,
+            use_node2vec=use_node2vec,
+            use_context=use_context,
+            use_directional=use_directional,
+            use_distance_feature=use_distance_feature,
+            node2vec=node2vec_config,
+        )
         rng = make_rng(seed)
         self.encoder = MMAFeatureEncoder(
             network, k_c=k_c, use_distance_feature=use_distance_feature
@@ -78,6 +94,49 @@ class MMAMatcher(MapMatcher):
             seed=rng,
         )
         self.optimizer = Adam(self.model.parameters(), lr=lr)
+
+    @classmethod
+    def from_config(
+        cls,
+        network: RoadNetwork,
+        config: MMAConfig,
+        planner: Optional[DARoutePlanner] = None,
+        seed: SeedLike = None,
+    ) -> "MMAMatcher":
+        """Build a matcher from its :class:`~repro.config.MMAConfig`."""
+        return cls(
+            network,
+            planner=planner,
+            k_c=config.k_c,
+            d0=config.d0,
+            d2=config.d2,
+            ffn_hidden=config.ffn_hidden,
+            lr=config.lr,
+            use_node2vec=config.use_node2vec,
+            use_context=config.use_context,
+            use_directional=config.use_directional,
+            use_distance_feature=config.use_distance_feature,
+            node2vec_config=config.node2vec,
+            seed=seed,
+        )
+
+    def rebuild_config(self) -> MMAConfig:
+        """Config that reconstructs this matcher's *architecture* exactly
+        (for weight transplantation, e.g. into engine workers).
+
+        Differs from :attr:`config` in two ways: Node2Vec pretraining is
+        disabled (the trained embedding arrives via ``load_state_dict``
+        instead of being re-learned), and ``d0`` is pinned to the actual
+        embedding width, which pretraining may have overridden.
+        """
+        from dataclasses import replace
+
+        return replace(
+            self.config,
+            use_node2vec=False,
+            node2vec=None,
+            d0=self.model.segment_embedding.dim,
+        )
 
     # ---------------------------------------------------------------- training
 

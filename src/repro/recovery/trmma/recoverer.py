@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from ...config import TRMMAConfig
 from ...data.trajectory import MapMatchedPoint, MatchedTrajectory, Trajectory
 from ...matching.base import MapMatcher
 from ...network.road_network import RoadNetwork
@@ -49,6 +50,18 @@ class TRMMARecoverer(TrajectoryRecoverer):
         if name:
             self.name = name
         self.matcher = matcher
+        #: Validated hyperparameter record equivalent to this instance; the
+        #: Pipeline facade and the parallel engine rebuild recoverers from
+        #: it (see :meth:`from_config`).
+        self.config = TRMMAConfig(
+            d_h=d_h,
+            n_layers=n_layers,
+            n_heads=n_heads,
+            ffn_hidden=ffn_hidden,
+            ratio_weight=ratio_weight,
+            use_fusion=use_fusion,
+            lr=lr,
+        )
         rng = make_rng(seed)
         self.model = TRMMAModel(
             network.n_segments,
@@ -61,6 +74,30 @@ class TRMMARecoverer(TrajectoryRecoverer):
             seed=rng,
         )
         self.optimizer = Adam(self.model.parameters(), lr=lr)
+
+    @classmethod
+    def from_config(
+        cls,
+        network: RoadNetwork,
+        matcher: MapMatcher,
+        config: TRMMAConfig,
+        seed: SeedLike = None,
+        name: Optional[str] = None,
+    ) -> "TRMMARecoverer":
+        """Build a recoverer from its :class:`~repro.config.TRMMAConfig`."""
+        return cls(
+            network,
+            matcher,
+            d_h=config.d_h,
+            n_layers=config.n_layers,
+            n_heads=config.n_heads,
+            ffn_hidden=config.ffn_hidden,
+            ratio_weight=config.ratio_weight,
+            use_fusion=config.use_fusion,
+            lr=config.lr,
+            seed=seed,
+            name=name,
+        )
 
     # ---------------------------------------------------------------- training
 
@@ -162,12 +199,31 @@ class TRMMARecoverer(TrajectoryRecoverer):
         cache across the whole set; the multitask decoder itself stays
         per-sample because it is autoregressive.
         """
-        from ...matching.base import reproject_onto_route
-
         trajectories = list(trajectories)
         all_segments = self.matcher.match_points_many(
             trajectories, batch_size=batch_size
         )
+        _, results = self.recover_from_point_matches(
+            trajectories, all_segments, epsilon
+        )
+        return results
+
+    def recover_from_point_matches(
+        self,
+        trajectories: Sequence[Trajectory],
+        all_segments: Sequence[List[int]],
+        epsilon: float,
+    ) -> "tuple[List[List[int]], List[MatchedTrajectory]]":
+        """Algorithm 2 lines 2-17 given precomputed point matches.
+
+        Returns both the stitched routes and the recovered trajectories, so
+        callers that need the two (``Pipeline.match_and_recover``, the
+        engine's combined task kind) run the matcher stage once instead of
+        twice.  The per-trajectory outputs are identical to :meth:`recover`.
+        """
+        from ...matching.base import reproject_onto_route
+
+        routes: List[List[int]] = []
         results: List[MatchedTrajectory] = []
         for trajectory, segments in zip(trajectories, all_segments):
             observed = [
@@ -188,4 +244,5 @@ class TRMMARecoverer(TrajectoryRecoverer):
                         self.network, trajectory, observed, route, epsilon
                     )
                 )
-        return results
+            routes.append(route)
+        return routes, results

@@ -237,6 +237,77 @@ class MetricsRegistry:
             totals[name] = totals.get(name, 0.0) + self.self_seconds(path)
         return totals
 
+    # ----------------------------------------------------- state (de)merging
+
+    def export_state(self) -> Dict:
+        """Snapshot this registry as a plain picklable dict.
+
+        The parallel engine's workers export their registry after every
+        chunk and ship the state back over the result queue; the parent
+        folds it in with :meth:`merge_state`.
+        """
+        return {
+            "counters": {n: c.value for n, c in self.counters.items()},
+            "gauges": {n: g.value for n, g in self.gauges.items()},
+            "histograms": {
+                n: {
+                    "buckets": h.buckets,
+                    "counts": list(h.counts),
+                    "sum": h.sum,
+                    "count": h.count,
+                }
+                for n, h in self.histograms.items()
+            },
+            "spans": {
+                s.path: {
+                    "count": s.count,
+                    "total": s.total,
+                    "min": s.min,
+                    "max": s.max,
+                    "samples": list(s.samples),
+                }
+                for s in self.spans.values()
+            },
+        }
+
+    def merge_state(
+        self, state: Dict, span_prefix: Tuple[str, ...] = ()
+    ) -> None:
+        """Fold an :meth:`export_state` snapshot into this registry.
+
+        ``span_prefix`` re-roots the snapshot's span paths (e.g.
+        ``("worker:3",)``) so per-worker trees stay distinguishable in the
+        merged render while ``stage_totals`` — which aggregates by leaf
+        name — still folds worker stage time into the parent's breakdown.
+        Counters, histograms and span stats add; gauges are last-write-wins.
+        """
+        for name, value in state.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in state.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, data in state.get("histograms", {}).items():
+            histogram = self.histogram(name, data["buckets"])
+            if histogram.buckets != tuple(data["buckets"]):
+                raise ValueError(
+                    f"histogram {name!r} bucket mismatch during merge"
+                )
+            for i, n in enumerate(data["counts"]):
+                histogram.counts[i] += n
+            histogram.sum += data["sum"]
+            histogram.count += data["count"]
+        for path, data in state.get("spans", {}).items():
+            full = span_prefix + tuple(path)
+            stats = self.spans.get(full)
+            if stats is None:
+                stats = self.spans[full] = SpanStats(full)
+            stats.count += data["count"]
+            stats.total += data["total"]
+            stats.min = min(stats.min, data["min"])
+            stats.max = max(stats.max, data["max"])
+            room = MAX_SPAN_SAMPLES - len(stats.samples)
+            if room > 0:
+                stats.samples.extend(data["samples"][:room])
+
     # ------------------------------------------------------------- lifecycle
 
     def reset(self) -> None:

@@ -13,6 +13,7 @@ test in ``tests/test_telemetry.py``.
 from __future__ import annotations
 
 import functools
+import os
 from contextvars import ContextVar
 from time import perf_counter
 from typing import Callable, Optional, Tuple, TypeVar
@@ -20,6 +21,17 @@ from typing import Callable, Optional, Tuple, TypeVar
 from . import state
 
 _PATH: ContextVar[Tuple[str, ...]] = ContextVar("repro_span_path", default=())
+
+
+def _reset_path_after_fork() -> None:
+    # A child forked mid-span inherits the parent's open path, which would
+    # root every worker span under a stage it never entered (and the parent
+    # exit that would pop it never happens in the child).
+    _PATH.set(())
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - always true on posix
+    os.register_at_fork(after_in_child=_reset_path_after_fork)
 
 F = TypeVar("F", bound=Callable)
 

@@ -65,3 +65,11 @@ def get_registry() -> MetricsRegistry:
 def reset() -> None:
     """Clear all recorded metrics and spans (test isolation)."""
     _registry.reset()
+
+
+# A forked worker inherits the parent's registry contents; without a reset
+# its first chunk export would re-deliver everything the parent already
+# recorded, double-counting on merge.  Fork start is the default for the
+# parallel engine on Linux, so clear the child's copy at the fork boundary.
+if hasattr(os, "register_at_fork"):  # pragma: no branch - always true on posix
+    os.register_at_fork(after_in_child=reset)

@@ -247,6 +247,41 @@ def test_trmma_gradient_accumulation_runs(trained_matcher, dataset):
     assert np.isfinite(loss) and loss > 0.0
 
 
+# ------------------------------------------------------- parallel engine
+
+
+def test_parallel_engine_identical_to_sequential(trained_matcher, dataset):
+    """The full chain: per-sample == batched == sharded across processes.
+
+    Chunking across workers only changes batch composition, which the
+    invariants above guarantee is output-neutral; this closes the loop by
+    comparing the parallel engine straight against the per-sample path.
+    """
+    from repro.config import EngineConfig
+    from repro.engine import ParallelEngine
+
+    recoverer = TRMMARecoverer(
+        dataset.network, trained_matcher, d_h=16, ffn_hidden=32, seed=2
+    )
+    recoverer.fit_epoch(dataset)
+    trajectories = [s.sparse for s in dataset.test]
+    sequential_routes = [trained_matcher.match(t) for t in trajectories]
+    sequential_dense = [
+        recoverer.recover(t, dataset.epsilon) for t in trajectories
+    ]
+    config = EngineConfig(
+        engine="parallel", workers=2, chunk_size=2, batch_size=4
+    )
+    with ParallelEngine(trained_matcher, recoverer, config) as engine:
+        assert engine.match(trajectories) == sequential_routes
+        parallel_dense = engine.recover(trajectories, dataset.epsilon)
+    assert len(parallel_dense) == len(sequential_dense)
+    for a, b in zip(sequential_dense, parallel_dense):
+        assert len(a.points) == len(b.points)
+        for pa, pb in zip(a.points, b.points):
+            assert (pa.edge_id, pa.ratio, pa.t) == (pb.edge_id, pb.ratio, pb.t)
+
+
 # -------------------------------------------------------------- LRU cache
 
 
