@@ -9,7 +9,7 @@ points at the replacement.  See ``docs/API.md`` for the migration table.
 from __future__ import annotations
 
 import warnings
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 from ..config import EngineConfig
 from ..data.trajectory import MatchedTrajectory, Trajectory
@@ -27,7 +27,7 @@ def _warn(old: str, new: str) -> None:
     )
 
 
-def make_trmma(*args, **kwargs) -> TRMMARecoverer:
+def make_trmma(*args: Any, **kwargs: Any) -> TRMMARecoverer:
     """Deprecated alias of :func:`repro.recovery.make_trmma`.
 
     Prefer ``Pipeline.from_config(network, PipelineConfig(...))`` — the

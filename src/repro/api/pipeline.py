@@ -21,10 +21,15 @@ All inference methods are batch-first and bit-exact across engines::
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
 
 from ..config import EngineConfig, PipelineConfig
 from ..data.trajectory import MatchedTrajectory, Trajectory
+
+if TYPE_CHECKING:  # avoid a data->api import cycle at runtime
+    from ..data.datasets import Dataset
+    from ..engine.parallel import ParallelEngine
+    from ..engine.serial import SerialEngine
 from ..matching.base import MapMatcher
 from ..network.road_network import RoadNetwork
 from ..network.routing import TransitionStatistics
@@ -92,7 +97,7 @@ class Pipeline:
 
     def fit(
         self,
-        dataset,
+        dataset: "Dataset",
         epochs: int = 5,
         matcher_epochs: Optional[int] = None,
         batch_size: int = 1,
@@ -120,7 +125,7 @@ class Pipeline:
     # --------------------------------------------------------------- inference
 
     @property
-    def engine(self):
+    def engine(self) -> "Union[SerialEngine, ParallelEngine]":
         """The execution engine, built lazily from ``engine_config``."""
         if self._engine is None:
             from ..engine import build_engine

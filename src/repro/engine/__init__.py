@@ -10,7 +10,7 @@ reassembly).  :func:`build_engine` picks the implementation from an
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 from ..config import EngineConfig
 from ..matching.base import MapMatcher
@@ -44,7 +44,7 @@ def build_engine(
     matcher: MapMatcher,
     recoverer: Optional[TRMMARecoverer] = None,
     config: Optional[EngineConfig] = None,
-):
+) -> Union[SerialEngine, ParallelEngine]:
     """Engine for ``config``: serial when it resolves to 0 workers.
 
     The parallel engine requires MMA (its worker spec rebuilds the MMA

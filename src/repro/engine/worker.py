@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import os
 import traceback
-from typing import Dict, Tuple
+from typing import Any, Dict, Tuple
 
 from ..telemetry import state as telemetry_state
 from .payload import pack_matched, unpack_trajectories
@@ -34,7 +34,7 @@ from .spec import WorkerRuntime, WorkerSpec, build_worker_runtime
 FAULT_EXIT_CODE = 17
 
 
-def execute_task(runtime: WorkerRuntime, kind: str, payload: Dict):
+def execute_task(runtime: WorkerRuntime, kind: str, payload: Dict) -> Any:
     """Run one task kind against the rebuilt runtime.
 
     Results use compact picklable shapes: plain int lists for routes and
@@ -68,7 +68,7 @@ def execute_task(runtime: WorkerRuntime, kind: str, payload: Dict):
     raise ValueError(f"unknown task kind {kind!r}")
 
 
-def worker_main(worker_id: int, spec: WorkerSpec, inbox, outbox) -> None:
+def worker_main(worker_id: int, spec: WorkerSpec, inbox: Any, outbox: Any) -> None:
     """Blocking serve loop; one call per worker process lifetime."""
     try:
         # Build with telemetry off so one-time construction spans don't

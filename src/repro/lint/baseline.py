@@ -1,0 +1,58 @@
+"""Baseline files: grandfather known findings, fail only on new ones.
+
+A baseline is a JSON document listing finding fingerprints
+(``rule::path::message`` — line numbers excluded so pure drift does not
+churn it).  ``python -m repro.lint --baseline FILE`` subtracts matches;
+``--write-baseline FILE`` records the current findings.  The checked-in
+``.reprolint-baseline.json`` is empty: ``src/`` carries no grandfathered
+violations, and the file exists to keep it that way visibly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Set, Tuple
+
+from .core import Finding
+
+_VERSION = 1
+
+
+def load_baseline(path: str) -> Set[str]:
+    """Fingerprints recorded in ``path`` (empty set for an empty file)."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("version") != _VERSION:
+        raise ValueError(
+            f"{path}: not a reprolint baseline (expected version {_VERSION})"
+        )
+    return {str(entry["fingerprint"]) for entry in data.get("findings", [])}
+
+
+def write_baseline(findings: Iterable[Finding], path: str) -> None:
+    entries = sorted(
+        {
+            finding.fingerprint(): {
+                "fingerprint": finding.fingerprint(),
+                "rule": finding.rule,
+                "path": finding.path,
+            }
+            for finding in findings
+        }.values(),
+        key=lambda entry: entry["fingerprint"],
+    )
+    document = {"version": _VERSION, "findings": entries}
+    Path(path).write_text(
+        json.dumps(document, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def split_baselined(
+    findings: Iterable[Finding], fingerprints: Set[str]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Partition into (new, baselined)."""
+    new: List[Finding] = []
+    old: List[Finding] = []
+    for finding in findings:
+        (old if finding.fingerprint() in fingerprints else new).append(finding)
+    return new, old

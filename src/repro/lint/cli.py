@@ -1,0 +1,140 @@
+"""Command line interface: ``python -m repro.lint [paths] [options]``.
+
+Exit codes: 0 clean (after baseline/suppressions), 1 findings, 2 usage
+error.  Output goes to stdout; ``--format json`` emits one machine-readable
+document (what the CI lint job archives).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence, TextIO
+
+from .baseline import load_baseline, split_baselined, write_baseline
+from .core import Finding, run_lint
+from .rules import default_rules
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "AST-based checker for the repo's parity, determinism, "
+            "fork-safety, hygiene and typing invariants (RL001-RL005); "
+            "see docs/STATIC_ANALYSIS.md"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="subtract findings recorded in this baseline JSON",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="record current findings to FILE and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (e.g. RL001,RL003)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="describe the available rules and exit",
+    )
+    return parser
+
+
+def _emit_text(
+    out: TextIO,
+    findings: List[Finding],
+    baselined: List[Finding],
+    suppressed: List[Finding],
+    files_scanned: int,
+) -> None:
+    for finding in findings:
+        out.write(finding.render() + "\n")
+    out.write(
+        f"repro.lint: {len(findings)} finding(s) in {files_scanned} "
+        f"file(s) ({len(baselined)} baselined, {len(suppressed)} "
+        "suppressed)\n"
+    )
+
+
+def _emit_json(
+    out: TextIO,
+    findings: List[Finding],
+    baselined: List[Finding],
+    suppressed: List[Finding],
+    files_scanned: int,
+) -> None:
+    document = {
+        "version": 1,
+        "files_scanned": files_scanned,
+        "findings": [finding.to_dict() for finding in findings],
+        "baselined": [finding.to_dict() for finding in baselined],
+        "suppressed": [finding.to_dict() for finding in suppressed],
+    }
+    out.write(json.dumps(document, indent=2) + "\n")
+
+
+def main(
+    argv: Optional[Sequence[str]] = None, out: Optional[TextIO] = None
+) -> int:
+    out = out if out is not None else sys.stdout
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in default_rules():
+            out.write(f"{rule.id}  {rule.title}\n    {rule.rationale}\n")
+        return 0
+
+    select = None
+    if args.select:
+        select = [token.strip() for token in args.select.split(",") if token.strip()]
+
+    try:
+        findings, suppressed, files_scanned = run_lint(args.paths, select=select)
+    except (FileNotFoundError, ValueError, SyntaxError) as exc:
+        sys.stderr.write(f"repro.lint: error: {exc}\n")
+        return 2
+
+    if args.write_baseline:
+        write_baseline(findings, args.write_baseline)
+        out.write(
+            f"repro.lint: wrote {len(findings)} finding(s) to "
+            f"{args.write_baseline}\n"
+        )
+        return 0
+
+    baselined: List[Finding] = []
+    if args.baseline:
+        try:
+            fingerprints = load_baseline(args.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            sys.stderr.write(f"repro.lint: error: {exc}\n")
+            return 2
+        findings, baselined = split_baselined(findings, fingerprints)
+
+    if args.format == "json":
+        _emit_json(out, findings, baselined, suppressed, files_scanned)
+    else:
+        _emit_text(out, findings, baselined, suppressed, files_scanned)
+    return 1 if findings else 0

@@ -1,0 +1,113 @@
+"""Import-graph reachability: which modules does ``repro.engine.worker`` pull in?
+
+RL003 (fork-safety) only applies to modules that actually execute inside
+engine worker processes.  That set is computed here by parsing the import
+statements of the *installed* ``repro`` package (located via
+``repro.__file__``, so it works no matter which paths the CLI was given)
+and walking the graph from :mod:`repro.engine.worker`.
+
+Resolution is static and conservative: absolute and relative imports are
+followed; importing a submodule also executes every ancestor package's
+``__init__``, so ancestors are always included.  Imports inside functions
+count too — workers call those functions.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Set
+
+WORKER_MODULE = "repro.engine.worker"
+
+
+def _package_root() -> Path:
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def _module_files(root: Path) -> Dict[str, Path]:
+    """Dotted name -> file for every module in the installed package."""
+    modules: Dict[str, Path] = {}
+    for path in root.rglob("*.py"):
+        parts = list(path.relative_to(root.parent).with_suffix("").parts)
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        modules[".".join(parts)] = path
+    return modules
+
+
+def _with_ancestors(name: str) -> List[str]:
+    parts = name.split(".")
+    return [".".join(parts[: i + 1]) for i in range(len(parts))]
+
+
+def module_imports(
+    module: str, tree: ast.AST, known: Iterable[str]
+) -> Set[str]:
+    """Repro-internal modules imported by ``module`` (ancestors included)."""
+    known = set(known)
+    is_package = any(name.startswith(module + ".") for name in known)
+    package_parts = module.split(".") if is_package else module.split(".")[:-1]
+
+    out: Set[str] = set()
+
+    def add(name: str) -> None:
+        for candidate in _with_ancestors(name):
+            if candidate in known:
+                out.add(candidate)
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                base = node.module or ""
+            else:
+                anchor = package_parts[: len(package_parts) - (node.level - 1)]
+                base = ".".join(anchor)
+                if node.module:
+                    base = f"{base}.{node.module}" if base else node.module
+            if not base:
+                continue
+            add(base)
+            for alias in node.names:
+                # ``from pkg import sub`` may bind a submodule.
+                add(f"{base}.{alias.name}")
+    out.discard(module)
+    return out
+
+
+def build_graph(root: Path) -> Dict[str, Set[str]]:
+    files = _module_files(root)
+    graph: Dict[str, Set[str]] = {}
+    for name, path in files.items():
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        except SyntaxError:
+            graph[name] = set()
+            continue
+        graph[name] = module_imports(name, tree, files)
+    return graph
+
+
+def reachable_from(graph: Dict[str, Set[str]], seed: str) -> FrozenSet[str]:
+    seen: Set[str] = set()
+    frontier = [seed]
+    while frontier:
+        current = frontier.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        # Importing a module executes its ancestor packages' __init__ too.
+        frontier.extend(_with_ancestors(current)[:-1])
+        frontier.extend(graph.get(current, ()))
+    return frozenset(seen)
+
+
+def worker_reachable_modules(seed: str = WORKER_MODULE) -> FrozenSet[str]:
+    """Modules transitively imported by the engine worker entry point."""
+    root = _package_root()
+    return reachable_from(build_graph(root), seed)

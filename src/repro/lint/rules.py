@@ -1,0 +1,23 @@
+"""Rule registry: the default rule set, in check order."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .core import Rule
+from .rules_determinism import DeterminismRule
+from .rules_forksafety import ForkSafetyRule
+from .rules_hygiene import HygieneRule
+from .rules_parity import ParityRule
+from .rules_typing import TypingRule
+
+
+def default_rules() -> List[Rule]:
+    """Fresh instances of every built-in rule (RL001..RL005)."""
+    return [
+        ParityRule(),
+        DeterminismRule(),
+        ForkSafetyRule(),
+        HygieneRule(),
+        TypingRule(),
+    ]

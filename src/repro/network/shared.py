@@ -100,10 +100,20 @@ class SharedArrayBundle:
             specs[name] = ArraySpec(offset, array.shape, array.dtype.str)
             offset += -(-array.nbytes // _ALIGN) * _ALIGN
         shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
-        manifest = BundleManifest(shm_name=shm.name, arrays=specs)
-        bundle = cls(shm, manifest, owner=True)
-        for name, array in prepared.items():
-            bundle._views[name][...] = array
+        try:
+            manifest = BundleManifest(shm_name=shm.name, arrays=specs)
+            bundle = cls(shm, manifest, owner=True)
+            for name, array in prepared.items():
+                bundle._views[name][...] = array
+        except BaseException:
+            # Without this, a failure between create and handing ownership
+            # to the bundle leaks the /dev/shm segment until reboot.
+            shm.close()
+            try:
+                shm.unlink()
+            except OSError:
+                pass
+            raise
         return bundle
 
     @classmethod

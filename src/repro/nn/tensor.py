@@ -20,6 +20,7 @@ Design notes
 from __future__ import annotations
 
 import math
+import os
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -43,6 +44,17 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
 
 #: Global autograd switch — flipped off inside :class:`no_grad` blocks.
 _GRAD_ENABLED = [True]
+
+
+def _reset_grad_after_fork() -> None:
+    """Forked engine workers start with autograd on, whatever the parent
+    was doing at fork time — a child must not inherit a half-open
+    :class:`no_grad` scope whose ``__exit__`` runs only in the parent."""
+    _GRAD_ENABLED[0] = True
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - always true on posix
+    os.register_at_fork(after_in_child=_reset_grad_after_fork)
 
 
 class no_grad:

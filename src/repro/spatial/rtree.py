@@ -247,7 +247,9 @@ class STRtree:
         cap = self.node_capacity
         n = len(entries)
         n_nodes = math.ceil(n / cap)
-        n_slices = math.ceil(math.sqrt(n_nodes))
+        # ceil(sqrt(n_nodes)) in pure integer math: float sqrt is banned in
+        # vectorised modules (RL001) and isqrt cannot drift by an ulp.
+        n_slices = math.isqrt(n_nodes - 1) + 1 if n_nodes else 0
         slice_size = n_slices * cap
         by_x = sorted(entries, key=key_x)
         nodes = []

@@ -15,6 +15,7 @@ of a network or planner; dead entries are dropped on the next read.
 from __future__ import annotations
 
 import itertools
+import os
 import weakref
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
@@ -87,6 +88,14 @@ def unregister_cache(name: str) -> None:
 def clear_cache_registry() -> None:
     """Drop every registration (test isolation)."""
     _caches.clear()
+
+
+# A forked engine worker inherits the parent's registrations; its cache
+# reports would then cover parent-owned planners/networks it never uses.
+# Clear at the fork boundary so workers only report what their own rebuilt
+# runtime registers (mirrors the registry reset in telemetry.state).
+if hasattr(os, "register_at_fork"):  # pragma: no branch - always true on posix
+    os.register_at_fork(after_in_child=clear_cache_registry)
 
 
 def all_cache_info() -> Dict[str, CacheProbe]:

@@ -1,0 +1,23 @@
+# reprolint: module=repro.matching.fixture_determinism
+"""RL002 fixture: unseeded randomness and wall clocks in library code."""
+
+import random  # banned: hidden global stream
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def jitter(values: list) -> list:
+    rng = np.random.default_rng()  # banned: mint streams via make_rng
+    np.random.seed(0)  # banned: global numpy state
+    return [v + rng.random() for v in values]
+
+
+def stamp() -> tuple:
+    return time.time(), datetime.now()  # banned: wall clocks in compute code
+
+
+def ok_duration() -> float:
+    start = time.perf_counter()  # allowed: monotonic duration measurement
+    return time.perf_counter() - start

@@ -1,0 +1,9 @@
+# reprolint: module=repro.matching.fixture_determinism_ok
+"""RL002 fixture: suppression with a reason keeps a justified wall-clock read."""
+
+import time
+
+
+def benchmark_stamp() -> float:
+    # reprolint: allow[RL002] reason=benchmark result files are stamped with wall time by design, never replayed
+    return time.time()

@@ -1,0 +1,20 @@
+# reprolint: module=repro.network.fixture_shm
+"""RL003 fixture: SharedMemory(create=True) with no close/unlink guard."""
+
+from multiprocessing import shared_memory
+
+
+def leaky(nbytes: int) -> shared_memory.SharedMemory:
+    shm = shared_memory.SharedMemory(create=True, size=nbytes)  # flagged
+    buffer = shm.buf
+    buffer[0] = 1  # an exception here would leak the segment
+    return shm
+
+
+def guarded(nbytes: int) -> bytes:
+    shm = shared_memory.SharedMemory(create=True, size=nbytes)  # clean
+    try:
+        return bytes(shm.buf[:8])
+    finally:
+        shm.close()
+        shm.unlink()

@@ -1,0 +1,13 @@
+# reprolint: module=repro.engine.payload
+"""RL003 fixture: mutable module state in a worker-imported module, no reset."""
+
+from functools import lru_cache
+
+_memo = {}  # flagged: forked workers inherit the parent's copy
+_pending: list = []  # flagged
+FROZEN_TABLE = {"a": 1}  # allowed: ALL_CAPS frozen-constant convention
+
+
+@lru_cache(maxsize=128)
+def cached_lookup(key: str) -> str:  # flagged: cache survives the fork
+    return key.upper()

@@ -1,0 +1,14 @@
+# reprolint: module=repro.engine.payload
+"""RL003 fixture: the same state is clean once an at-fork reset is registered."""
+
+import os
+
+_memo = {}  # registered below: clean
+
+
+def _reset_after_fork() -> None:
+    _memo.clear()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_reset_after_fork)

@@ -1,0 +1,4 @@
+# reprolint: module=repro.engine.payload
+"""RL003 fixture: suppression with a reason silences the state finding."""
+
+_append_only_log = []  # reprolint: allow[RL003] reason=append-only debug log, duplicated entries in a fork are harmless

@@ -1,0 +1,15 @@
+# reprolint: module=repro.utils.fixture_hygiene
+"""RL004 fixture: bare print and dynamically-named spans."""
+
+from repro import telemetry
+from repro.telemetry import span
+
+
+def report(rows: list, stage: str) -> None:
+    print("rows:", len(rows))  # flagged: bypasses telemetry.log / --quiet
+    with span(stage):  # flagged: name not a string literal
+        pass
+    with telemetry.span("stage:" + stage):  # flagged: not a literal either
+        pass
+    with span("decode"):  # clean: literal, greppable for PAPER_MAPPING.md
+        pass

@@ -1,0 +1,24 @@
+# reprolint: module=repro.api.fixture_typing
+"""RL005 fixture: public API surface with holes in its annotations."""
+
+from typing import List
+
+
+def match_all(trajectories, batch_size: int = 32) -> List[int]:  # flagged: param
+    return [batch_size for _ in trajectories]
+
+
+def build_report(rows: List[int]):  # flagged: return type
+    return {"rows": rows}
+
+
+def _private_helper(x):  # clean: private functions are out of scope
+    return x
+
+
+class Facade:
+    def __init__(self, workers):  # flagged: param (self exempt)
+        self.workers = workers
+
+    def close(self) -> None:  # clean: fully annotated
+        return None

@@ -1,0 +1,6 @@
+# reprolint: module=repro.api.fixture_typing_ok
+"""RL005 fixture: suppression with a reason covers a justified untyped shim."""
+
+# reprolint: allow[RL005] reason=deprecated shim forwards verbatim; annotating would promise a stable signature
+def legacy_passthrough(*args, **kwargs):
+    return args, kwargs

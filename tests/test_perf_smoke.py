@@ -9,6 +9,7 @@ numbers live in ``benchmarks/`` (BENCH_PR1.json), not in tier-1.
 
 from __future__ import annotations
 
+import os
 import time
 
 import pytest
@@ -55,10 +56,14 @@ def test_batched_matching_is_faster_and_identical(perf_setup):
     assert batched == sequential  # bit-identical matches, not just close
     # Sequential re-pays per-point encoding + per-trajectory model overhead;
     # batched amortises both.  Generous margin to stay robust on slow CI.
-    assert batched_s < sequential_s, (
-        f"batched path slower than sequential: {batched_s:.3f}s vs "
-        f"{sequential_s:.3f}s over {len(trajectories)} trajectories"
-    )
+    # Like the BENCH_PR3 speedup assertion, the timing bound is gated on
+    # core count: on a 1-core container the two paths contend with each
+    # other (and the OS) and the comparison is noise, not signal.
+    if (os.cpu_count() or 1) >= 2:
+        assert batched_s < sequential_s, (
+            f"batched path slower than sequential: {batched_s:.3f}s vs "
+            f"{sequential_s:.3f}s over {len(trajectories)} trajectories"
+        )
 
 
 @pytest.mark.perf_smoke
