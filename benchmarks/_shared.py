@@ -6,13 +6,19 @@ paper-style report through the structured logger, and writes it to
 ``benchmarks/results/<id>.txt``.
 
 Wall-clock seconds per experiment accumulate into the machine-readable
-``benchmarks/results/BENCH_PR2.json`` (experiment id -> {seconds,
+``benchmarks/results/BENCH_PR5.json`` (experiment id -> {seconds,
 batch_size, stages}) so perf regressions across PRs are diffable without
 parsing the text reports.  For the efficiency figures (Figs. 5/9) the
 ``stages`` entry is the per-stage time breakdown (candidates / features /
 model / routing / decode seconds) captured by ``repro.telemetry`` around
 the batched-inference measurement, plus the window wall clock it should sum
 to.
+
+Every write also lands a schema-versioned record in the run ledger
+(``benchmarks/results/ledger.jsonl``) via ``repro.obs`` — git SHA, env
+fingerprint, memory high-water marks and all — which is what
+``python -m repro.obs report`` / ``gate`` consume.  The per-PR JSON file
+stays as the human-diffable artefact; the ledger is the trend history.
 
 The heavyweight sweep experiments (Figs. 7, 8, 11 retrain per setting) run
 on a reduced dataset list to keep the suite practical; pass ``--scale`` via
@@ -29,10 +35,11 @@ from typing import Dict, Optional
 
 from repro.experiments import BENCH, EXPERIMENTS, ExperimentScale
 from repro.experiments.common import BENCH_BATCH_SIZE
+from repro.obs import append_record, new_record
 from repro.utils.tables import emit_table
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
-BENCH_JSON = RESULTS_DIR / "BENCH_PR2.json"
+BENCH_JSON = RESULTS_DIR / "BENCH_PR5.json"
 
 #: Reduced scale for the experiments that retrain per sweep setting.
 SWEEP_SCALE = replace(BENCH, datasets=("PT",))
@@ -65,8 +72,12 @@ def extract_stage_breakdown(results) -> Optional[Dict]:
 def record_benchmark(
     experiment_id: str, seconds: float, stages: Optional[Dict] = None
 ) -> None:
-    """Merge one experiment's wall clock (and stage breakdown) into
-    BENCH_PR2.json."""
+    """Persist one experiment's wall clock (and stage breakdown).
+
+    Writes both artefacts: the per-PR ``BENCH_PR5.json`` merge and a
+    schema-versioned run-ledger record (``ledger.jsonl``) through the
+    ``repro.obs`` writer.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     entries = {}
     if BENCH_JSON.exists():
@@ -82,6 +93,17 @@ def record_benchmark(
         entry["stages"] = stages
     entries[experiment_id] = entry
     BENCH_JSON.write_text(json.dumps(entries, indent=2, sort_keys=True) + "\n")
+    append_record(
+        new_record(
+            experiment_id,
+            "bench",
+            seconds=seconds,
+            batch_size=BENCH_BATCH_SIZE,
+            stages=stages,
+            source=BENCH_JSON.name,
+        ),
+        path=RESULTS_DIR / "ledger.jsonl",
+    )
 
 
 def run_and_report(

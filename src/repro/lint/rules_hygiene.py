@@ -2,7 +2,12 @@
 
 ``print`` bypasses the structured logger (``repro.telemetry.log``) that the
 CLI's ``--quiet`` / report plumbing controls, so library code must not call
-it.  Span names must be string literals: the span ↔ paper-stage table in
+it.  The same goes for direct ``sys.stdout.write(...)``: CLI *product*
+output flows through an explicit exporter
+(:class:`repro.obs.stdout.StdoutExporter`), so only the blessed writer
+modules in :data:`STDOUT_WRITER_MODULES` may touch the raw stream
+(``sys.stderr`` stays available everywhere for error paths).  Span names
+must be string literals: the span ↔ paper-stage table in
 ``docs/PAPER_MAPPING.md`` is maintained by grepping for ``span("...")``,
 and a dynamically-named span silently falls out of that audit.
 """
@@ -13,6 +18,17 @@ import ast
 from typing import Iterator
 
 from .core import Finding, LintContext, ModuleInfo, Rule
+
+#: The only ``repro`` modules allowed to call ``sys.stdout.write``: the
+#: structured-log handler and the obs CLI's explicit stdout exporter.
+STDOUT_WRITER_MODULES = ("repro.telemetry.log", "repro.obs.stdout")
+
+
+def _may_write_stdout(module: ModuleInfo) -> bool:
+    return any(
+        module.module == prefix or module.module.startswith(prefix + ".")
+        for prefix in STDOUT_WRITER_MODULES
+    )
 
 
 class HygieneRule(Rule):
@@ -44,6 +60,19 @@ class HygieneRule(Rule):
                     "exporters)",
                 )
                 continue
+            if (
+                module.in_repro
+                and self._is_stdout_write(func)
+                and not _may_write_stdout(module)
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "direct sys.stdout.write() outside the blessed writers "
+                    "(repro.telemetry.log, repro.obs.stdout); CLI output "
+                    "goes through an explicit StdoutExporter",
+                )
+                continue
             if self._is_span_call(func) and node.args:
                 first = node.args[0]
                 if not (
@@ -57,6 +86,18 @@ class HygieneRule(Rule):
                         "span-to-paper-stage table in docs/PAPER_MAPPING.md "
                         "is audited by grep and dynamic names escape it",
                     )
+
+    @staticmethod
+    def _is_stdout_write(func: ast.AST) -> bool:
+        # matches exactly sys.stdout.write(...)
+        return (
+            isinstance(func, ast.Attribute)
+            and func.attr == "write"
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "stdout"
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id == "sys"
+        )
 
     @staticmethod
     def _is_span_call(func: ast.AST) -> bool:

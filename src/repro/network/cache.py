@@ -82,3 +82,19 @@ class LRUCache:
             size=len(self._store),
             capacity=self.capacity,
         )
+
+    def nbytes(self) -> int:
+        """Shallow byte estimate of the cached entries (O(entries)).
+
+        Routes are lists of ints, costs are floats — one level of
+        ``getsizeof`` plus list elements captures nearly all of it.  Used
+        by deep memory samples, not on any hot path.
+        """
+        import sys
+
+        total = 0
+        for key, value in self._store.items():
+            total += sys.getsizeof(key) + sys.getsizeof(value)
+            if isinstance(value, (list, tuple)):
+                total += sum(sys.getsizeof(item) for item in value)
+        return total

@@ -35,6 +35,7 @@ from ..geometry.points import LocalProjection
 from ..geometry.segments import SegmentGeometry
 from ..spatial.rtree import STRtree
 from ..telemetry import register_cache, size_probe
+from ..telemetry.memory import track_shm
 from .cache import LRUCache
 from .road_network import RoadNetwork, Segment
 
@@ -88,6 +89,9 @@ class SharedArrayBundle:
             if not owner:
                 view.flags.writeable = False
             self._views[name] = view
+        # Feed the shm.bytes_mapped gauge; close() reverses exactly once.
+        self._tracked_bytes = shm.size
+        track_shm(self._tracked_bytes)
 
     @classmethod
     def create(cls, arrays: Dict[str, np.ndarray]) -> "SharedArrayBundle":
@@ -100,6 +104,7 @@ class SharedArrayBundle:
             specs[name] = ArraySpec(offset, array.shape, array.dtype.str)
             offset += -(-array.nbytes // _ALIGN) * _ALIGN
         shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        bundle: Optional["SharedArrayBundle"] = None
         try:
             manifest = BundleManifest(shm_name=shm.name, arrays=specs)
             bundle = cls(shm, manifest, owner=True)
@@ -108,7 +113,10 @@ class SharedArrayBundle:
         except BaseException:
             # Without this, a failure between create and handing ownership
             # to the bundle leaks the /dev/shm segment until reboot.
-            shm.close()
+            if bundle is not None:
+                bundle.close()
+            else:
+                shm.close()
             try:
                 shm.unlink()
             except OSError:
@@ -139,6 +147,9 @@ class SharedArrayBundle:
     def close(self) -> None:
         """Release this process's mapping (views become invalid)."""
         self._views.clear()
+        if self._tracked_bytes:
+            track_shm(-self._tracked_bytes)
+            self._tracked_bytes = 0
         try:
             self._shm.close()
         except OSError:

@@ -1,0 +1,64 @@
+"""``repro.obs`` — run ledger, regression gating and quality observability.
+
+``repro.telemetry`` answers "where did this run spend its time"; this
+package answers "is the repo getting better or worse *across* runs".  It
+keeps an append-only, schema-versioned JSONL **run ledger**
+(``benchmarks/results/ledger.jsonl``) where every benchmark run lands one
+record: git SHA, environment fingerprint (including ``os.cpu_count()`` —
+the honest-numbers convention for this single-core container), per-stage
+self-times, cache hit rates, quality metrics, and memory high-water marks.
+
+On top of the ledger:
+
+* :mod:`repro.obs.report` renders markdown/HTML trend reports with
+  sparklines per (experiment, scale) series,
+* :mod:`repro.obs.compare` diffs two records (or two ledgers) with
+  noise-aware thresholds and flags regressions,
+* :mod:`repro.obs.migrate` folds the historical ``BENCH_PR*.json``
+  artefacts into the ledger without editing the originals,
+* ``python -m repro.obs`` exposes ``report`` / ``compare`` / ``gate`` /
+  ``migrate``; ``gate`` exits non-zero on a regression so CI can block.
+
+All CLI output flows through :class:`repro.obs.stdout.StdoutExporter` —
+the one blessed stdout writer (``repro.lint`` rule RL004 enforces that no
+other ``repro`` module prints).
+"""
+
+from __future__ import annotations
+
+from .compare import Comparison, Finding, compare_ledgers, compare_records, gate
+from .fingerprint import config_hash, env_fingerprint, git_sha
+from .ledger import (
+    SCHEMA_VERSION,
+    append_record,
+    default_ledger_path,
+    group_records,
+    new_record,
+    read_ledger,
+    upgrade_record,
+)
+from .migrate import migrate_bench_files
+from .report import render_report, sparkline
+from .stdout import StdoutExporter
+
+__all__ = [
+    "Comparison",
+    "Finding",
+    "SCHEMA_VERSION",
+    "StdoutExporter",
+    "append_record",
+    "compare_ledgers",
+    "compare_records",
+    "config_hash",
+    "default_ledger_path",
+    "env_fingerprint",
+    "gate",
+    "git_sha",
+    "group_records",
+    "migrate_bench_files",
+    "new_record",
+    "read_ledger",
+    "render_report",
+    "sparkline",
+    "upgrade_record",
+]

@@ -1,0 +1,142 @@
+"""``python -m repro.obs`` — report / compare / gate / migrate.
+
+Exit codes follow the ``repro.lint`` convention: 0 clean, 1 regression
+found (``gate`` only, unless ``--report-only``), 2 usage or I/O error.
+All product output goes through :class:`~repro.obs.stdout.StdoutExporter`;
+errors go to stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional
+
+from .compare import compare_ledgers, gate, render_comparisons
+from .ledger import default_ledger_path, read_ledger
+from .migrate import default_results_dir, migrate_bench_files
+from .report import render_report
+from .stdout import StdoutExporter
+
+EXIT_OK = 0
+EXIT_REGRESSION = 1
+EXIT_ERROR = 2
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Run ledger reporting and regression gating.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser(
+        "report", help="render ledger trends (markdown or HTML)"
+    )
+    report.add_argument(
+        "--ledger", type=pathlib.Path, default=None,
+        help="ledger path (default: benchmarks/results/ledger.jsonl)",
+    )
+    report.add_argument(
+        "--format", choices=("markdown", "html"), default="markdown"
+    )
+    report.add_argument(
+        "--output", type=pathlib.Path, default=None,
+        help="write the report to a file instead of stdout",
+    )
+
+    compare = sub.add_parser(
+        "compare", help="diff the latest records of two ledgers"
+    )
+    compare.add_argument("baseline", type=pathlib.Path)
+    compare.add_argument("candidate", type=pathlib.Path)
+
+    gate_cmd = sub.add_parser(
+        "gate",
+        help="exit non-zero when the latest run of any series regressed",
+    )
+    gate_cmd.add_argument("--ledger", type=pathlib.Path, default=None)
+    gate_cmd.add_argument(
+        "--report-only", action="store_true",
+        help="print verdicts but always exit 0 (CI advisory mode)",
+    )
+
+    migrate = sub.add_parser(
+        "migrate", help="fold BENCH_*.json artefacts into the ledger"
+    )
+    migrate.add_argument("--results-dir", type=pathlib.Path, default=None)
+    migrate.add_argument("--ledger", type=pathlib.Path, default=None)
+
+    return parser
+
+
+def _cmd_report(args: argparse.Namespace, out: StdoutExporter) -> int:
+    records = read_ledger(args.ledger)
+    rendered = render_report(records, fmt=args.format)
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(rendered)
+        out.line(f"wrote {args.format} report to {args.output}")
+    else:
+        out.write(rendered)
+    return EXIT_OK
+
+
+def _cmd_compare(args: argparse.Namespace, out: StdoutExporter) -> int:
+    for path in (args.baseline, args.candidate):
+        if not path.exists():
+            sys.stderr.write(f"repro.obs: no such ledger: {path}\n")
+            return EXIT_ERROR
+    comparisons = compare_ledgers(
+        read_ledger(args.baseline), read_ledger(args.candidate)
+    )
+    out.line(render_comparisons(comparisons))
+    return EXIT_OK
+
+
+def _cmd_gate(args: argparse.Namespace, out: StdoutExporter) -> int:
+    ledger_path = args.ledger or default_ledger_path()
+    records = read_ledger(ledger_path)
+    regressed, comparisons = gate(records)
+    out.line(render_comparisons(comparisons))
+    if regressed:
+        out.line("gate: REGRESSION detected")
+        if args.report_only:
+            out.line("gate: --report-only set, exiting 0")
+            return EXIT_OK
+        return EXIT_REGRESSION
+    out.line("gate: clean")
+    return EXIT_OK
+
+
+def _cmd_migrate(args: argparse.Namespace, out: StdoutExporter) -> int:
+    appended = migrate_bench_files(
+        results_dir=args.results_dir, ledger_path=args.ledger
+    )
+    ledger_path = args.ledger or default_ledger_path()
+    results_dir = args.results_dir or default_results_dir()
+    out.line(
+        f"migrated {appended} record(s) from {results_dir} into {ledger_path}"
+    )
+    return EXIT_OK
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    out = StdoutExporter()
+    try:
+        if args.command == "report":
+            return _cmd_report(args, out)
+        if args.command == "compare":
+            return _cmd_compare(args, out)
+        if args.command == "gate":
+            return _cmd_gate(args, out)
+        if args.command == "migrate":
+            return _cmd_migrate(args, out)
+    except OSError as exc:
+        sys.stderr.write(f"repro.obs: {exc}\n")
+        return EXIT_ERROR
+    finally:
+        out.flush()
+    return EXIT_ERROR  # unreachable with required=True subparsers

@@ -1,0 +1,245 @@
+"""Noise-aware comparison of ledger records and the regression gate.
+
+Benchmark wall clocks on a shared CI box are noisy, so the comparator
+never flags a raw delta: a timing only counts as a regression when it
+clears *both* a ratio threshold and an absolute floor, and a quality
+metric only when it moves more than :data:`QUALITY_DROP_POINTS` points.
+The thresholds are deliberately asymmetric with the historical record —
+the PR1→PR2 batching speedups (808→573 s, 329→160 s) must gate clean
+while a genuine 2× stage blow-up or a 5-point recall drop must trip.
+
+Honest-numbers rule for this single-core container: when two records were
+produced with different ``cpu_count`` the environments are not comparable,
+so perf regressions are downgraded to warnings and annotated rather than
+failing the gate on a machine change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .ledger import group_records, record_key
+
+#: A total wall clock must grow by this ratio ... and this many seconds.
+TOTAL_RATIO = 1.5
+TOTAL_FLOOR_S = 1.0
+#: A single stage must grow by this ratio ... and this many seconds, and
+#: the baseline stage must be above the noise floor at all.
+STAGE_RATIO = 1.75
+STAGE_FLOOR_S = 0.05
+STAGE_NOISE_S = 0.02
+#: Ratio-valued quality metrics (recall et al., stored in [0, 1]) must
+#: drop by more than this many percentage points.
+QUALITY_DROP_POINTS = 2.0
+#: Metre-valued error metrics must grow by this ratio and this many metres.
+ERROR_RATIO = 1.5
+ERROR_FLOOR_M = 1.0
+
+#: Quality metrics where larger is better (ratios in [0, 1]).
+HIGHER_BETTER = (
+    "recall", "precision", "f1", "accuracy", "jaccard",
+    "hit_rate", "segment_recall", "route_coverage",
+)
+#: Quality metrics where smaller is better (metres or ratio error).
+LOWER_BETTER = ("mae", "rmse", "ratio_mae")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One compared metric: values, verdict and a human-readable note."""
+
+    kind: str  # "env" | "perf" | "quality"
+    metric: str
+    baseline: Optional[float]
+    candidate: Optional[float]
+    verdict: str  # "ok" | "warn" | "regression"
+    note: str = ""
+
+
+@dataclass
+class Comparison:
+    """All findings for one (experiment, scale) series."""
+
+    experiment: str
+    scale: str
+    findings: List[Finding] = field(default_factory=list)
+    env_changed: bool = False
+
+    @property
+    def regressions(self) -> List[Finding]:
+        return [f for f in self.findings if f.verdict == "regression"]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.verdict == "warn"]
+
+
+def _stage_totals(stages: Any) -> Dict[str, float]:
+    """Sum per-stage seconds across datasets.
+
+    Accepts both the BENCH_PR2 nested form
+    (``{dataset: {"seconds": {stage: s}, "window_seconds": w}}``) and a
+    flat ``{stage: seconds}`` mapping.
+    """
+    totals: Dict[str, float] = {}
+    if not isinstance(stages, dict):
+        return totals
+    for key, value in stages.items():
+        if isinstance(value, dict):
+            seconds = value.get("seconds")
+            if isinstance(seconds, dict):
+                for stage, s in seconds.items():
+                    totals[str(stage)] = totals.get(str(stage), 0.0) + float(s)
+        elif isinstance(value, (int, float)):
+            totals[str(key)] = totals.get(str(key), 0.0) + float(value)
+    return totals
+
+
+def _perf_verdict(env_changed: bool) -> str:
+    # A perf jump on a different machine is a caveat, not a regression.
+    return "warn" if env_changed else "regression"
+
+
+def compare_records(
+    baseline: Dict[str, Any], candidate: Dict[str, Any]
+) -> Comparison:
+    """Diff two ledger records of the same (experiment, scale) series."""
+    experiment, scale = record_key(candidate)
+    comparison = Comparison(experiment=experiment, scale=scale)
+
+    base_env = baseline.get("env") or {}
+    cand_env = candidate.get("env") or {}
+    base_cpus = base_env.get("cpu_count")
+    cand_cpus = cand_env.get("cpu_count")
+    if base_cpus != cand_cpus:
+        comparison.env_changed = True
+        comparison.findings.append(Finding(
+            kind="env",
+            metric="cpu_count",
+            baseline=float(base_cpus) if base_cpus is not None else None,
+            candidate=float(cand_cpus) if cand_cpus is not None else None,
+            verdict="warn",
+            note=(
+                "environments differ (cpu_count "
+                f"{base_cpus!r} -> {cand_cpus!r}); timings are annotated, "
+                "not gated — single-core honest-numbers convention"
+            ),
+        ))
+
+    base_perf = baseline.get("perf") or {}
+    cand_perf = candidate.get("perf") or {}
+
+    base_s = base_perf.get("seconds")
+    cand_s = cand_perf.get("seconds")
+    if base_s is not None and cand_s is not None and float(base_s) > 0:
+        base_f, cand_f = float(base_s), float(cand_s)
+        ratio = cand_f / base_f
+        delta = cand_f - base_f
+        if ratio > TOTAL_RATIO and delta > TOTAL_FLOOR_S:
+            verdict = _perf_verdict(comparison.env_changed)
+            note = f"total wall clock {ratio:.2f}x slower (+{delta:.2f}s)"
+        elif ratio < 1.0 / TOTAL_RATIO:
+            verdict, note = "ok", f"improved {1.0 / ratio:.2f}x"
+        else:
+            verdict, note = "ok", f"within noise ({ratio:.2f}x)"
+        comparison.findings.append(Finding(
+            kind="perf", metric="seconds",
+            baseline=base_f, candidate=cand_f, verdict=verdict, note=note,
+        ))
+
+    base_stages = _stage_totals(base_perf.get("stages"))
+    cand_stages = _stage_totals(cand_perf.get("stages"))
+    for stage in sorted(set(base_stages) & set(cand_stages)):
+        base_f, cand_f = base_stages[stage], cand_stages[stage]
+        if base_f < STAGE_NOISE_S:
+            continue  # below the noise floor: any ratio is meaningless
+        ratio = cand_f / base_f
+        delta = cand_f - base_f
+        if ratio > STAGE_RATIO and delta > STAGE_FLOOR_S:
+            verdict = _perf_verdict(comparison.env_changed)
+            note = f"stage {ratio:.2f}x slower (+{delta:.3f}s)"
+        else:
+            verdict, note = "ok", f"{ratio:.2f}x"
+        comparison.findings.append(Finding(
+            kind="perf", metric=f"stage.{stage}",
+            baseline=base_f, candidate=cand_f, verdict=verdict, note=note,
+        ))
+
+    base_quality = baseline.get("quality") or {}
+    cand_quality = candidate.get("quality") or {}
+    for metric in sorted(set(base_quality) & set(cand_quality)):
+        base_f = float(base_quality[metric])
+        cand_f = float(cand_quality[metric])
+        if metric in LOWER_BETTER:
+            delta = cand_f - base_f
+            ratio = cand_f / base_f if base_f > 0 else float("inf")
+            if ratio > ERROR_RATIO and delta > ERROR_FLOOR_M:
+                verdict = "regression"
+                note = f"error grew {ratio:.2f}x (+{delta:.2f})"
+            else:
+                verdict, note = "ok", f"{delta:+.3f}"
+        else:
+            drop_points = (base_f - cand_f) * 100.0
+            if drop_points > QUALITY_DROP_POINTS:
+                verdict = "regression"
+                note = f"dropped {drop_points:.1f} points"
+            else:
+                verdict, note = "ok", f"{-drop_points:+.1f} points"
+        comparison.findings.append(Finding(
+            kind="quality", metric=metric,
+            baseline=base_f, candidate=cand_f, verdict=verdict, note=note,
+        ))
+
+    return comparison
+
+
+def gate(records: List[Dict[str, Any]]) -> Tuple[bool, List[Comparison]]:
+    """Compare the latest record of every series against its predecessor.
+
+    Returns ``(regression_found, comparisons)``; series with fewer than
+    two records have nothing to gate and are skipped.
+    """
+    comparisons: List[Comparison] = []
+    for _key, series in sorted(group_records(records).items()):
+        if len(series) < 2:
+            continue
+        comparisons.append(compare_records(series[-2], series[-1]))
+    return any(c.regressions for c in comparisons), comparisons
+
+
+def compare_ledgers(
+    baseline_records: List[Dict[str, Any]],
+    candidate_records: List[Dict[str, Any]],
+) -> List[Comparison]:
+    """Latest-per-series diff of two ledgers (series present in both)."""
+    base_groups = group_records(baseline_records)
+    cand_groups = group_records(candidate_records)
+    comparisons: List[Comparison] = []
+    for key in sorted(set(base_groups) & set(cand_groups)):
+        comparisons.append(
+            compare_records(base_groups[key][-1], cand_groups[key][-1])
+        )
+    return comparisons
+
+
+def render_comparisons(comparisons: List[Comparison]) -> str:
+    """Plain-text verdict listing for the CLI."""
+    if not comparisons:
+        return "nothing to compare (need two records of the same series)"
+    lines: List[str] = []
+    for comparison in comparisons:
+        header = f"{comparison.experiment}/{comparison.scale}"
+        n_reg = len(comparison.regressions)
+        status = "REGRESSION" if n_reg else "ok"
+        lines.append(f"{header}: {status}")
+        for finding in comparison.findings:
+            if finding.verdict == "ok" and not finding.note.startswith("improv"):
+                continue  # keep the listing focused on signal
+            base = "-" if finding.baseline is None else f"{finding.baseline:g}"
+            cand = "-" if finding.candidate is None else f"{finding.candidate:g}"
+            lines.append(
+                f"  [{finding.verdict}] {finding.kind}.{finding.metric}: "
+                f"{base} -> {cand}  {finding.note}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Environment fingerprinting for ledger records.
+
+Perf numbers are only comparable when the environment is: the single-core
+container convention (see BENCH_PR3.json) is to record ``os.cpu_count()``
+next to every timing so nobody mistakes a machine change for a code
+change.  The fingerprint extends that to the git SHA, interpreter and
+NumPy versions, and a stable hash of the benchmark configuration.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import platform
+import subprocess
+import sys
+from typing import Any, Dict, Optional
+
+
+def repo_root() -> pathlib.Path:
+    """The repository root (three levels above this package)."""
+    return pathlib.Path(__file__).resolve().parents[3]
+
+
+def git_sha(cwd: Optional[pathlib.Path] = None) -> str:
+    """Current ``HEAD`` SHA, or ``"unknown"`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(cwd or repo_root()),
+            capture_output=True,
+            text=True,
+            timeout=10.0,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def config_hash(config: Any) -> str:
+    """Short stable hash of a JSON-serialisable configuration object."""
+    canonical = json.dumps(config, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+def env_fingerprint() -> Dict[str, Any]:
+    """Everything needed to judge whether two runs are comparable."""
+    try:
+        import numpy
+
+        numpy_version: Optional[str] = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dep
+        numpy_version = None
+    return {
+        "git_sha": git_sha(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "numpy": numpy_version,
+    }

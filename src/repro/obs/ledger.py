@@ -1,0 +1,206 @@
+"""Append-only, schema-versioned run ledger (``benchmarks/results/ledger.jsonl``).
+
+One JSON line per benchmark run.  Schema version 2 (current)::
+
+    {
+      "schema_version": 2,
+      "experiment": "fig9",            # experiment id ("fig5", "fig9", ...)
+      "scale": "bench",                # tiny | bench | full
+      "source": "run",                 # "run", or the BENCH_*.json migrated from
+      "created_at": "2026-08-06T12:00:00Z",
+      "env": {"git_sha": ..., "python": ..., "cpu_count": ..., ...},
+      "perf": {"seconds": ..., "batch_size": ..., "stages": {...}},
+      "memory": {"peak_rss_bytes": ..., "shm_bytes_mapped": ..., "caches": {...}},
+      "quality": {"recall": ..., "f1": ..., ...}      # ratios in [0, 1]
+    }
+
+Schema version 1 (legacy) kept the perf fields *flat* at the top level
+(``seconds`` / ``batch_size`` / ``stages`` / ``window_seconds`` next to
+``experiment``); :func:`upgrade_record` nests them under ``"perf"`` on
+read, so old ledgers keep working without rewriting the file.
+
+The ledger is append-only and line-oriented on purpose: a crashed run can
+at worst truncate its own last line, and :func:`read_ledger` skips any
+corrupt or unparseable line with a logged warning instead of discarding
+the whole history.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..telemetry import all_cache_info
+from ..telemetry import log as _log
+from ..telemetry import memory as _memory
+from .fingerprint import env_fingerprint, repo_root
+
+#: Current on-disk record schema.
+SCHEMA_VERSION = 2
+
+#: Fields a v1 record kept flat that v2 nests under ``"perf"``.
+_V1_PERF_FIELDS = ("seconds", "batch_size", "stages", "window_seconds")
+
+#: Fields every well-formed record must carry.
+_REQUIRED_FIELDS = ("experiment", "scale")
+
+
+def default_ledger_path() -> pathlib.Path:
+    """``benchmarks/results/ledger.jsonl`` at the repository root."""
+    return repo_root() / "benchmarks" / "results" / "ledger.jsonl"
+
+
+def _utc_timestamp() -> str:
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+
+def memory_snapshot(deep: bool = True) -> Dict[str, Any]:
+    """Current process memory facts for a ledger record.
+
+    ``deep=True`` walks cached entries for byte estimates — fine at
+    once-per-run ledger-write frequency, too slow for hot paths.
+    """
+    caches: Dict[str, Dict[str, Any]] = {}
+    for name, probe in sorted(all_cache_info().items()):
+        entry: Dict[str, Any] = {"entries": probe.size}
+        if probe.hit_rate is not None:
+            entry["hit_rate"] = round(probe.hit_rate, 6)
+        nbytes = probe.nbytes
+        if nbytes is None and deep and probe.estimate_nbytes is not None:
+            nbytes = probe.estimate_nbytes()
+        if nbytes is not None:
+            entry["bytes"] = int(nbytes)
+        caches[name] = entry
+    return {
+        "peak_rss_bytes": _memory.peak_rss_bytes(),
+        "shm_bytes_mapped": _memory.shm_bytes_mapped(),
+        "caches": caches,
+    }
+
+
+def new_record(
+    experiment: str,
+    scale: str,
+    *,
+    seconds: Optional[float] = None,
+    batch_size: Optional[int] = None,
+    stages: Optional[Dict[str, Any]] = None,
+    window_seconds: Optional[float] = None,
+    quality: Optional[Dict[str, float]] = None,
+    memory: Optional[Dict[str, Any]] = None,
+    env: Optional[Dict[str, Any]] = None,
+    source: str = "run",
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build a schema-v2 record, fingerprinting the live environment.
+
+    ``memory`` defaults to a fresh (deep) :func:`memory_snapshot`; pass an
+    explicit dict (possibly empty) to skip the sampling.
+    """
+    perf: Dict[str, Any] = {}
+    if seconds is not None:
+        perf["seconds"] = round(float(seconds), 6)
+    if batch_size is not None:
+        perf["batch_size"] = int(batch_size)
+    if stages is not None:
+        perf["stages"] = stages
+    if window_seconds is not None:
+        perf["window_seconds"] = round(float(window_seconds), 6)
+    record: Dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "experiment": experiment,
+        "scale": scale,
+        "source": source,
+        "created_at": _utc_timestamp(),
+        "env": env if env is not None else env_fingerprint(),
+        "perf": perf,
+    }
+    record["memory"] = memory if memory is not None else memory_snapshot()
+    if quality:
+        record["quality"] = {k: float(v) for k, v in sorted(quality.items())}
+    if extra:
+        record["extra"] = extra
+    return record
+
+
+def append_record(
+    record: Dict[str, Any], path: Optional[pathlib.Path] = None
+) -> pathlib.Path:
+    """Append one record as a JSON line; returns the ledger path written."""
+    for field in _REQUIRED_FIELDS:
+        if field not in record:
+            raise ValueError(f"ledger record missing required field {field!r}")
+    record.setdefault("schema_version", SCHEMA_VERSION)
+    path = path or default_ledger_path()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    line = json.dumps(record, sort_keys=True)
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+    return path
+
+
+def upgrade_record(record: Dict[str, Any]) -> Dict[str, Any]:
+    """Upgrade any supported schema version to the current one (copying)."""
+    version = int(record.get("schema_version", 1))
+    if version >= SCHEMA_VERSION:
+        return record
+    upgraded = dict(record)
+    # v1 -> v2: perf fields move from the top level under "perf".
+    perf: Dict[str, Any] = dict(upgraded.get("perf") or {})
+    for field in _V1_PERF_FIELDS:
+        if field in upgraded:
+            perf.setdefault(field, upgraded.pop(field))
+    upgraded["perf"] = perf
+    upgraded["schema_version"] = SCHEMA_VERSION
+    return upgraded
+
+
+def read_ledger(path: Optional[pathlib.Path] = None) -> List[Dict[str, Any]]:
+    """All valid records, oldest first, upgraded to the current schema.
+
+    Corrupt or truncated lines (and records missing required fields) are
+    skipped with a logged warning — one bad write must not hide the rest
+    of the history.
+    """
+    path = path or default_ledger_path()
+    if not path.exists():
+        return []
+    records: List[Dict[str, Any]] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                parsed = json.loads(line)
+            except ValueError:
+                _log.warning(
+                    f"ledger {path.name}:{lineno}: skipping corrupt line"
+                )
+                continue
+            if not isinstance(parsed, dict) or any(
+                field not in parsed for field in _REQUIRED_FIELDS
+            ):
+                _log.warning(
+                    f"ledger {path.name}:{lineno}: skipping malformed record"
+                )
+                continue
+            records.append(upgrade_record(parsed))
+    return records
+
+
+def record_key(record: Dict[str, Any]) -> Tuple[str, str]:
+    """The (experiment, scale) series a record belongs to."""
+    return (str(record.get("experiment")), str(record.get("scale")))
+
+
+def group_records(
+    records: List[Dict[str, Any]]
+) -> Dict[Tuple[str, str], List[Dict[str, Any]]]:
+    """Group records by (experiment, scale), preserving ledger order."""
+    groups: Dict[Tuple[str, str], List[Dict[str, Any]]] = {}
+    for record in records:
+        groups.setdefault(record_key(record), []).append(record)
+    return groups

@@ -1,0 +1,110 @@
+"""Fold historical ``BENCH_PR*.json`` artefacts into the run ledger.
+
+The PR1–PR3 benchmark files predate the ledger and stay untouched on disk
+(they are the provenance); migration re-expresses each as a schema-v2
+ledger record with ``source`` set to the originating filename.  Migration
+is idempotent: a record whose (experiment, scale, source) triple is
+already in the ledger is skipped, so re-running after a new ``BENCH_*``
+file appears only appends the new entries.
+
+Environment facts the old files did not record are left null rather than
+guessed — except ``cpu_count`` where the file itself states it
+(BENCH_PR3 records ``"cpu_count": 1``, the single-core honest-numbers
+convention).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..telemetry import log as _log
+from .fingerprint import repo_root
+from .ledger import SCHEMA_VERSION, append_record, read_ledger
+
+#: Scale every historical BENCH_*.json was produced at.
+MIGRATED_SCALE = "bench"
+
+#: Env placeholder for artefacts that predate fingerprinting.
+_UNKNOWN_ENV: Dict[str, Any] = {"git_sha": "unknown", "cpu_count": None}
+
+#: Perf-relevant keys lifted out of a benchmark entry; the rest lands in
+#: the record's ``extra`` so nothing from the original file is dropped.
+_PERF_KEYS = ("seconds", "batch_size", "stages", "window_seconds")
+
+
+def default_results_dir() -> pathlib.Path:
+    return repo_root() / "benchmarks" / "results"
+
+
+def _bench_files(results_dir: pathlib.Path) -> List[pathlib.Path]:
+    return sorted(results_dir.glob("BENCH_*.json"))
+
+
+def _entry_to_record(
+    experiment: str, entry: Dict[str, Any], source: str
+) -> Dict[str, Any]:
+    perf = {k: entry[k] for k in _PERF_KEYS if k in entry}
+    extra = {k: v for k, v in entry.items() if k not in _PERF_KEYS}
+    env = dict(_UNKNOWN_ENV)
+    if "cpu_count" in extra:
+        env["cpu_count"] = extra["cpu_count"]
+    record: Dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "experiment": experiment,
+        "scale": MIGRATED_SCALE,
+        "source": source,
+        "created_at": None,  # the artefacts carry no timestamps
+        "env": env,
+        "perf": perf,
+    }
+    if extra:
+        record["extra"] = extra
+    return record
+
+
+def _existing_keys(
+    ledger_path: Optional[pathlib.Path],
+) -> Set[Tuple[str, str, str]]:
+    return {
+        (
+            str(record.get("experiment")),
+            str(record.get("scale")),
+            str(record.get("source")),
+        )
+        for record in read_ledger(ledger_path)
+    }
+
+
+def migrate_bench_files(
+    results_dir: Optional[pathlib.Path] = None,
+    ledger_path: Optional[pathlib.Path] = None,
+) -> int:
+    """Append every not-yet-migrated BENCH_*.json entry; returns the count."""
+    results_dir = results_dir or default_results_dir()
+    seen = _existing_keys(ledger_path)
+    appended = 0
+    for bench_file in _bench_files(results_dir):
+        try:
+            payload = json.loads(bench_file.read_text())
+        except (ValueError, OSError):
+            _log.warning(f"migrate: skipping unreadable {bench_file.name}")
+            continue
+        if not isinstance(payload, dict):
+            _log.warning(f"migrate: skipping non-object {bench_file.name}")
+            continue
+        for experiment in sorted(payload):
+            entry = payload[experiment]
+            if not isinstance(entry, dict):
+                continue
+            key = (experiment, MIGRATED_SCALE, bench_file.name)
+            if key in seen:
+                continue
+            append_record(
+                _entry_to_record(experiment, entry, bench_file.name),
+                path=ledger_path,
+            )
+            seen.add(key)
+            appended += 1
+    return appended

@@ -1,0 +1,124 @@
+"""Trend reports over the run ledger (markdown or HTML, with sparklines).
+
+One section per (experiment, scale) series, oldest record first, so the
+PR-over-PR efficiency story (Fig. 5/9 wall clocks) reads as a trend line
+rather than a pile of JSON files.  Sparklines compress each numeric series
+into one unicode cell; the tables carry the honest context (cpu_count,
+git SHA, source artefact) next to every number.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .ledger import group_records
+
+_SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Unicode sparkline of a numeric series (empty string for none)."""
+    points = [float(v) for v in values]
+    if not points:
+        return ""
+    lo, hi = min(points), max(points)
+    if hi - lo <= 0:
+        return _SPARK_GLYPHS[3] * len(points)
+    span = hi - lo
+    top = len(_SPARK_GLYPHS) - 1
+    return "".join(
+        _SPARK_GLYPHS[int(round((v - lo) / span * top))] for v in points
+    )
+
+
+def _headline_quality(record: Dict[str, Any]) -> Optional[Tuple[str, float]]:
+    quality = record.get("quality") or {}
+    for metric in ("recall", "f1", "accuracy"):
+        if metric in quality:
+            return metric, float(quality[metric])
+    if quality:
+        metric = sorted(quality)[0]
+        return metric, float(quality[metric])
+    return None
+
+
+def _series_rows(series: List[Dict[str, Any]]) -> List[List[str]]:
+    rows: List[List[str]] = []
+    for record in series:
+        env = record.get("env") or {}
+        perf = record.get("perf") or {}
+        seconds = perf.get("seconds")
+        quality = _headline_quality(record)
+        sha = str(env.get("git_sha") or "unknown")[:9]
+        rows.append([
+            str(record.get("source") or "run"),
+            str(record.get("created_at") or "-"),
+            "-" if seconds is None else f"{float(seconds):.2f}",
+            "-" if quality is None else f"{quality[0]}={quality[1]:.4f}",
+            str(env.get("cpu_count", "-")),
+            sha,
+        ])
+    return rows
+
+
+def _markdown_table(headers: Sequence[str], rows: List[List[str]]) -> str:
+    lines = ["| " + " | ".join(headers) + " |"]
+    lines.append("|" + "|".join(" --- " for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def render_report(
+    records: List[Dict[str, Any]], fmt: str = "markdown"
+) -> str:
+    """Render the full ledger trend report (``markdown`` or ``html``)."""
+    if fmt not in ("markdown", "html"):
+        raise ValueError(f"unknown report format {fmt!r}")
+    lines: List[str] = ["# Run ledger report", ""]
+    if not records:
+        lines.append("Ledger is empty — run `python -m repro.obs migrate` "
+                     "or a benchmark first.")
+    lines.append(f"{len(records)} records, "
+                 f"{len(group_records(records))} series.")
+    lines.append("")
+    headers = ("source", "created", "seconds", "quality", "cpus", "git")
+    for (experiment, scale), series in sorted(group_records(records).items()):
+        lines.append(f"## {experiment} @ {scale}")
+        lines.append("")
+        seconds = [
+            float(r["perf"]["seconds"])
+            for r in series
+            if (r.get("perf") or {}).get("seconds") is not None
+        ]
+        if seconds:
+            trend = sparkline(seconds)
+            lines.append(
+                f"wall clock trend: `{trend}` "
+                f"({seconds[0]:.2f}s -> {seconds[-1]:.2f}s)"
+            )
+        quality_points = [
+            _headline_quality(r) for r in series
+        ]
+        quality_values = [q[1] for q in quality_points if q is not None]
+        if quality_values:
+            metric = next(q[0] for q in quality_points if q is not None)
+            lines.append(
+                f"quality trend ({metric}): `{sparkline(quality_values)}` "
+                f"({quality_values[0]:.4f} -> {quality_values[-1]:.4f})"
+            )
+        lines.append("")
+        lines.append(_markdown_table(headers, _series_rows(series)))
+        lines.append("")
+    markdown = "\n".join(lines).rstrip() + "\n"
+    if fmt == "markdown":
+        return markdown
+    escaped = _html.escape(markdown)
+    return (
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">"
+        "<title>Run ledger report</title></head>\n"
+        "<body><pre style=\"font-family: monospace\">\n"
+        f"{escaped}"
+        "</pre></body></html>\n"
+    )

@@ -1,0 +1,32 @@
+"""The one blessed stdout writer for ``repro.obs``.
+
+Library code in ``repro`` must not print (``repro.lint`` rule RL004): the
+structured logger owns diagnostics.  CLI *output* — reports, tables, gate
+verdicts — is different: it is the program's product and belongs on stdout
+by contract.  Routing every such write through this exporter keeps the
+"who writes to stdout" question answerable with one grep, and lets tests
+substitute an in-memory stream.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, Optional
+
+
+class StdoutExporter:
+    """Explicit sink for CLI output (defaults to the real stdout)."""
+
+    def __init__(self, stream: Optional[IO[str]] = None) -> None:
+        self._stream = stream if stream is not None else sys.stdout
+
+    def write(self, text: str) -> None:
+        self._stream.write(text)
+
+    def line(self, text: str = "") -> None:
+        self._stream.write(text + "\n")
+
+    def flush(self) -> None:
+        flush = getattr(self._stream, "flush", None)
+        if flush is not None:
+            flush()

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from time import perf_counter as _perf_counter
 
-from . import log
+from . import log, memory
 from .caches import (
     CacheProbe,
     all_cache_info,
@@ -33,12 +33,16 @@ from .exporters import (
     StageCapture,
     capture_stages,
     json_snapshot,
+    parse_prometheus_text,
     prometheus_text,
     render_span_tree,
     render_stage_table,
 )
+from .memory import sample_memory_gauges
 from .metrics import (
     DEFAULT_BUCKETS,
+    METERS_BUCKETS,
+    RATIO_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -57,13 +61,15 @@ from .state import (
 
 __all__ = [
     "CacheProbe", "Counter", "DEFAULT_BUCKETS", "Gauge", "Histogram",
-    "MetricsRegistry", "PIPELINE_STAGES", "SpanStats", "StageCapture",
-    "all_cache_info", "cache_report", "capture_stages",
-    "clear_cache_registry", "current_path", "disable", "enable", "enabled",
-    "enabled_scope", "get_registry", "inc", "json_snapshot", "log",
-    "observe", "prometheus_text", "record_training_epoch", "register_cache",
-    "render_span_tree", "render_stage_table", "reset", "set_gauge",
-    "size_probe", "span", "timed_epoch", "traced", "unregister_cache",
+    "METERS_BUCKETS", "MetricsRegistry", "PIPELINE_STAGES", "RATIO_BUCKETS",
+    "SpanStats", "StageCapture", "all_cache_info", "cache_report",
+    "capture_stages", "clear_cache_registry", "current_path", "disable",
+    "enable", "enabled", "enabled_scope", "get_registry", "inc",
+    "json_snapshot", "log", "memory", "observe", "parse_prometheus_text",
+    "prometheus_text", "record_training_epoch", "register_cache",
+    "render_span_tree", "render_stage_table", "reset",
+    "sample_memory_gauges", "set_gauge", "set_gauge_max", "size_probe",
+    "span", "timed_epoch", "traced", "unregister_cache",
 ]
 
 
@@ -80,6 +86,12 @@ def set_gauge(name: str, value: float) -> None:
     """Set a gauge (no-op when telemetry is disabled)."""
     if enabled():
         get_registry().set_gauge(name, value)
+
+
+def set_gauge_max(name: str, value: float) -> None:
+    """Raise a max-merged gauge (no-op when telemetry is disabled)."""
+    if enabled():
+        get_registry().set_gauge_max(name, value)
 
 
 def observe(name: str, value: float, buckets=None) -> None:

@@ -30,13 +30,18 @@ class CacheProbe:
     """Uniform snapshot of one cache: size plus optional hit/miss counters.
 
     Size-only entries (plain dict memos, precomputed lookup tables) leave
-    ``hits``/``misses`` as ``None`` and report no hit rate.
+    ``hits``/``misses`` as ``None`` and report no hit rate.  ``nbytes`` is
+    an optional byte footprint for owners that track it cheaply;
+    ``estimate_nbytes`` is a deferred O(entries) estimator that deep memory
+    samples (:func:`repro.telemetry.memory.sample_memory_gauges`) may call.
     """
 
     size: int
     capacity: Optional[int] = None
     hits: Optional[int] = None
     misses: Optional[int] = None
+    nbytes: Optional[int] = None
+    estimate_nbytes: Optional[Callable[[], int]] = None
 
     @property
     def hit_rate(self) -> Optional[float]:
@@ -52,6 +57,7 @@ def _default_probe(owner) -> CacheProbe:
     return CacheProbe(
         size=info.size, capacity=info.capacity,
         hits=info.hits, misses=info.misses,
+        estimate_nbytes=getattr(owner, "nbytes", None),
     )
 
 

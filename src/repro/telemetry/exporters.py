@@ -58,6 +58,8 @@ def json_snapshot(registry: Optional[MetricsRegistry] = None) -> Dict:
             "misses": probe.misses,
             "hit_rate": probe.hit_rate,
         }
+        if probe.nbytes is not None:
+            caches[name]["nbytes"] = probe.nbytes
     return {
         "enabled": state.enabled(),
         "counters": {
@@ -86,6 +88,19 @@ def _metric_name(name: str) -> str:
     return name.replace(".", "_").replace("-", "_").replace(" ", "_")
 
 
+def _fmt(value: float) -> str:
+    """Lossless float formatting for the text exposition.
+
+    ``%g`` truncates to 6 significant digits, which shifts a custom bucket
+    bound's printed ``le`` label off the real edge — a value observed
+    exactly on the boundary then appears to land in the wrong bucket to
+    any consumer parsing the output.  Python's ``repr`` is the shortest
+    string that round-trips exactly, so bounds, sums and gauge values all
+    parse back to the stored float.
+    """
+    return repr(float(value))
+
+
 def prometheus_text(registry: Optional[MetricsRegistry] = None) -> str:
     """Prometheus-style text exposition of the registry."""
     registry = registry or state.get_registry()
@@ -93,19 +108,19 @@ def prometheus_text(registry: Optional[MetricsRegistry] = None) -> str:
     for name in sorted(registry.counters):
         metric = f"repro_{_metric_name(name)}_total"
         lines.append(f"# TYPE {metric} counter")
-        lines.append(f"{metric} {registry.counters[name].value:g}")
+        lines.append(f"{metric} {_fmt(registry.counters[name].value)}")
     for name in sorted(registry.gauges):
         metric = f"repro_{_metric_name(name)}"
         lines.append(f"# TYPE {metric} gauge")
-        lines.append(f"{metric} {registry.gauges[name].value:g}")
+        lines.append(f"{metric} {_fmt(registry.gauges[name].value)}")
     for name in sorted(registry.histograms):
         hist = registry.histograms[name]
         metric = f"repro_{_metric_name(name)}"
         lines.append(f"# TYPE {metric} histogram")
         for bound, cumulative in hist.cumulative():
-            le = "+Inf" if bound == float("inf") else f"{bound:g}"
+            le = "+Inf" if bound == float("inf") else _fmt(bound)
             lines.append(f'{metric}_bucket{{le="{le}"}} {cumulative}')
-        lines.append(f"{metric}_sum {hist.sum:g}")
+        lines.append(f"{metric}_sum {_fmt(hist.sum)}")
         lines.append(f"{metric}_count {hist.count}")
     if registry.spans:
         lines.append("# TYPE repro_span_seconds summary")
@@ -113,7 +128,8 @@ def prometheus_text(registry: Optional[MetricsRegistry] = None) -> str:
             stats = registry.spans[path]
             label = ".".join(path)
             lines.append(
-                f'repro_span_seconds_total{{path="{label}"}} {stats.total:g}'
+                f'repro_span_seconds_total{{path="{label}"}} '
+                f"{_fmt(stats.total)}"
             )
             lines.append(
                 f'repro_span_seconds_count{{path="{label}"}} {stats.count}'
@@ -122,8 +138,40 @@ def prometheus_text(registry: Optional[MetricsRegistry] = None) -> str:
         rate = probe.hit_rate
         if rate is not None:
             metric = f"repro_cache_hit_rate{{cache=\"{name}\"}}"
-            lines.append(metric + f" {rate:g}")
+            lines.append(metric + f" {_fmt(rate)}")
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus_text(text: str) -> Dict[str, Dict]:
+    """Parse :func:`prometheus_text` output back into metric dicts.
+
+    Returns ``{metric_name: {"type": ..., "samples": {label_or_"": value}}}``
+    — the round-trip half of the exporter, used by the obs round-trip tests
+    and by external scrape tooling checks.
+    """
+    metrics: Dict[str, Dict] = {}
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split()
+            metrics[name] = {"type": kind, "samples": {}}
+            continue
+        name_and_labels, value = line.rsplit(" ", 1)
+        if "{" in name_and_labels:
+            name, _, labels = name_and_labels.partition("{")
+            labels = labels.rstrip("}")
+        else:
+            name, labels = name_and_labels, ""
+        base = name
+        for suffix in ("_bucket", "_sum", "_count", "_total"):
+            if name.endswith(suffix) and name[: -len(suffix)] in metrics:
+                base = name[: -len(suffix)]
+                break
+        entry = metrics.setdefault(base, {"type": "untyped", "samples": {}})
+        key = name[len(base):] + ("{" + labels + "}" if labels else "")
+        entry["samples"][key] = float(value)
+    return metrics
 
 
 # -------------------------------------------------------------- span reports

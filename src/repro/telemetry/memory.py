@@ -1,0 +1,111 @@
+"""Memory observability: peak RSS, shared-memory mappings, cache footprints.
+
+Three memory quantities matter for the production-scale story:
+
+* ``mem.peak_rss_bytes`` — the process high-water mark from
+  ``resource.getrusage``; max-merged across engine workers so the merged
+  registry reports the largest peak of any process in the run.
+* ``shm.bytes_mapped`` — bytes of :mod:`multiprocessing.shared_memory`
+  this process currently maps.  :class:`~repro.network.shared.SharedArrayBundle`
+  reports create/attach/close through :func:`track_shm`; also max-merged
+  (per-process mappings of the same block are not additive).
+* ``cache.<name>.entries`` / ``cache.<name>.bytes`` — per-cache footprints
+  via the weakref cache registry.  Entry counts are cheap and sampled every
+  time; byte estimates walk every cached object, so they are only computed
+  on ``deep=True`` samples (ledger writes, explicit exports).
+
+Gauges are refreshed by :func:`sample_memory_gauges`.  Root-span exits call
+the throttled :func:`maybe_sample` so long runs get periodic samples for
+free without adding a syscall to every hot-path span.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from time import perf_counter
+from typing import Optional
+
+try:  # pragma: no cover - resource is always present on posix
+    import resource
+except ImportError:  # pragma: no cover - windows
+    resource = None  # type: ignore[assignment]
+
+from . import state
+from .caches import all_cache_info
+from .metrics import MetricsRegistry
+
+#: Minimum seconds between span-boundary samples (explicit calls bypass it).
+MIN_SAMPLE_INTERVAL_S = 0.25
+
+_shm_bytes = 0
+_last_sample = 0.0
+
+
+def track_shm(delta: int) -> None:
+    """Adjust this process's mapped shared-memory byte count by ``delta``."""
+    global _shm_bytes
+    _shm_bytes = max(0, _shm_bytes + int(delta))
+
+
+def shm_bytes_mapped() -> int:
+    """Bytes of shared memory currently mapped by this process."""
+    return _shm_bytes
+
+
+def peak_rss_bytes() -> int:
+    """The process's resident-set high-water mark in bytes (0 if unknown).
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS.
+    """
+    if resource is None:
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return int(peak)
+    return int(peak) * 1024
+
+
+def sample_memory_gauges(
+    registry: Optional[MetricsRegistry] = None, deep: bool = False
+) -> None:
+    """Refresh the memory gauges on ``registry`` (global one by default).
+
+    ``deep=True`` additionally estimates per-cache byte footprints, which
+    walks every cached entry — reserve it for once-per-run exports.
+    """
+    registry = registry or state.get_registry()
+    registry.set_gauge_max("mem.peak_rss_bytes", float(peak_rss_bytes()))
+    registry.set_gauge_max("shm.bytes_mapped", float(_shm_bytes))
+    for name, probe in all_cache_info().items():
+        registry.set_gauge(f"cache.{name}.entries", float(probe.size))
+        nbytes = probe.nbytes
+        if nbytes is not None:
+            registry.set_gauge(f"cache.{name}.bytes", float(nbytes))
+        elif deep and probe.estimate_nbytes is not None:
+            registry.set_gauge(
+                f"cache.{name}.bytes", float(probe.estimate_nbytes())
+            )
+
+
+def maybe_sample(registry: MetricsRegistry) -> None:
+    """Throttled :func:`sample_memory_gauges` for span-boundary call sites."""
+    global _last_sample
+    now = perf_counter()
+    if now - _last_sample < MIN_SAMPLE_INTERVAL_S:
+        return
+    _last_sample = now
+    sample_memory_gauges(registry)
+
+
+def _reset_after_fork() -> None:
+    # A forked worker inherits the parent's mapped-bytes counter and sample
+    # clock, but it re-attaches its own bundles (tracked from zero after
+    # the reset) — mirroring the registry/cache-registry fork resets.
+    global _shm_bytes, _last_sample
+    _shm_bytes = 0
+    _last_sample = 0.0
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - always true on posix
+    os.register_at_fork(after_in_child=_reset_after_fork)

@@ -41,6 +41,18 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
     0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0
 )
 
+#: Buckets for ratio-valued quality metrics (hit rates, recall, coverage —
+#: all in [0, 1]).  The top edges are dense because the interesting quality
+#: movements happen between "good" and "nearly perfect".
+RATIO_BUCKETS: Tuple[float, ...] = (
+    0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 1.0
+)
+
+#: Buckets for metre-valued error metrics (point MAE, network distances).
+METERS_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0
+)
+
 #: Per-span-path cap on retained duration samples (percentile estimation
 #: stays O(1) memory on paths hit millions of times, e.g. route planning).
 MAX_SPAN_SAMPLES = 4096
@@ -62,16 +74,30 @@ class Counter:
 
 
 class Gauge:
-    """A value that can go up and down (cache hit rates, last epoch loss)."""
+    """A value that can go up and down (cache hit rates, last epoch loss).
 
-    __slots__ = ("name", "value")
+    ``mode`` controls how the gauge folds across worker snapshots in
+    :meth:`MetricsRegistry.merge_state`: ``"last"`` (default) is
+    last-write-wins, ``"max"`` keeps the largest value seen — the right
+    semantics for high-water marks like ``mem.peak_rss_bytes``, where the
+    peak of the run is the max over every process's peak.
+    """
+
+    __slots__ = ("name", "value", "mode")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
+        self.mode = "last"
 
     def set(self, value: float) -> None:
         self.value = float(value)
+
+    def set_max(self, value: float) -> None:
+        """Raise the gauge to ``value`` if larger; marks it max-merged."""
+        self.mode = "max"
+        if value > self.value:
+            self.value = float(value)
 
 
 class Histogram:
@@ -97,6 +123,9 @@ class Histogram:
         self.count = 0
 
     def observe(self, value: float) -> None:
+        # bisect_left gives the first bound >= value, so a value exactly on
+        # a bound lands in that bound's bucket (Prometheus le-semantics);
+        # bisect_right would push boundary values one bucket too high.
         self.counts[bisect.bisect_left(self.buckets, value)] += 1
         self.sum += value
         self.count += 1
@@ -181,6 +210,9 @@ class MetricsRegistry:
     def set_gauge(self, name: str, value: float) -> None:
         self.gauge(name).set(value)
 
+    def set_gauge_max(self, name: str, value: float) -> None:
+        self.gauge(name).set_max(value)
+
     # ----------------------------------------------------------- histograms
 
     def histogram(
@@ -249,6 +281,11 @@ class MetricsRegistry:
         return {
             "counters": {n: c.value for n, c in self.counters.items()},
             "gauges": {n: g.value for n, g in self.gauges.items()},
+            # Non-default merge modes travel separately so snapshots from
+            # older writers (no key) still merge with last-write semantics.
+            "gauge_modes": {
+                n: g.mode for n, g in self.gauges.items() if g.mode != "last"
+            },
             "histograms": {
                 n: {
                     "buckets": h.buckets,
@@ -283,8 +320,12 @@ class MetricsRegistry:
         """
         for name, value in state.get("counters", {}).items():
             self.counter(name).inc(value)
+        modes = state.get("gauge_modes", {})
         for name, value in state.get("gauges", {}).items():
-            self.gauge(name).set(value)
+            if modes.get(name) == "max":
+                self.gauge(name).set_max(value)
+            else:
+                self.gauge(name).set(value)
         for name, data in state.get("histograms", {}).items():
             histogram = self.histogram(name, data["buckets"])
             if histogram.buckets != tuple(data["buckets"]):

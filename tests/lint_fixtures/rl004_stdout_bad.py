@@ -1,0 +1,9 @@
+# reprolint: module=repro.utils.fixture_stdout
+"""RL004 fixture: direct sys.stdout.write outside the blessed writers."""
+
+import sys
+
+
+def report(text: str) -> None:
+    sys.stdout.write(text)  # flagged: only the blessed writers may do this
+    sys.stderr.write(text)  # clean: stderr stays open for error paths

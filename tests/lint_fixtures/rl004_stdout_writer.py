@@ -1,0 +1,8 @@
+# reprolint: module=repro.obs.stdout
+"""RL004 fixture: the blessed exporter module may write to stdout."""
+
+import sys
+
+
+def write(text: str) -> None:
+    sys.stdout.write(text)  # clean: repro.obs.stdout is a blessed writer

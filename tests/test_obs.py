@@ -1,0 +1,440 @@
+"""``repro.obs`` — run ledger, migration, trend report and regression gate.
+
+Covers the ISSUE 5 acceptance surface: schema-versioned ledger records
+(v1 upgrades cleanly, corrupt lines are skipped with a logged warning),
+idempotent migration of the historical BENCH_PR*.json artefacts, a seeded
+regression fixture that must trip the gate (2x stage-time jump, 5-point
+recall drop), the real migrated ledger gating clean, report rendering
+over >=3 historical records, and the CLI exit codes.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro import telemetry
+from repro.obs import (
+    SCHEMA_VERSION,
+    append_record,
+    compare_records,
+    env_fingerprint,
+    gate,
+    git_sha,
+    group_records,
+    migrate_bench_files,
+    new_record,
+    read_ledger,
+    render_report,
+    sparkline,
+    upgrade_record,
+)
+from repro.obs.cli import main as obs_main
+from repro.obs.compare import compare_ledgers, render_comparisons
+from repro.obs.stdout import StdoutExporter
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_DIR = REPO_ROOT / "benchmarks" / "results"
+
+
+@pytest.fixture()
+def clean_telemetry():
+    was_enabled = telemetry.enabled()
+    telemetry.disable()
+    telemetry.reset()
+    yield
+    telemetry.reset()
+    if was_enabled:
+        telemetry.enable()
+    else:
+        telemetry.disable()
+
+
+def _baseline_record(**overrides):
+    record = new_record(
+        "fig9",
+        "bench",
+        seconds=10.0,
+        batch_size=32,
+        stages={"candidates": 2.0, "model": 3.0, "routing": 1.0},
+        quality={"recall": 0.80, "f1": 0.78},
+        memory={},
+        env={"git_sha": "base000", "cpu_count": 1},
+        source="test",
+    )
+    record.update(overrides)
+    return record
+
+
+def _regressed_record():
+    # The seeded regression the gate must catch: every stage 2x slower
+    # and recall down 5 points.
+    return new_record(
+        "fig9",
+        "bench",
+        seconds=20.0,
+        batch_size=32,
+        stages={"candidates": 4.0, "model": 6.0, "routing": 2.0},
+        quality={"recall": 0.75, "f1": 0.78},
+        memory={},
+        env={"git_sha": "cand000", "cpu_count": 1},
+        source="test",
+    )
+
+
+# ------------------------------------------------------------------- ledger
+
+
+class TestLedger:
+    def test_append_read_roundtrip(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        record = _baseline_record()
+        append_record(record, path=path)
+        loaded = read_ledger(path)
+        assert len(loaded) == 1
+        assert loaded[0]["experiment"] == "fig9"
+        assert loaded[0]["schema_version"] == SCHEMA_VERSION
+        assert loaded[0]["perf"]["seconds"] == 10.0
+        assert loaded[0]["quality"]["recall"] == 0.80
+
+    def test_required_fields_enforced(self, tmp_path):
+        with pytest.raises(ValueError):
+            append_record({"scale": "bench"}, path=tmp_path / "l.jsonl")
+
+    def test_v1_record_upgrades_on_read(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        v1 = {
+            "schema_version": 1,
+            "experiment": "fig5",
+            "scale": "bench",
+            "source": "test",
+            "seconds": 5.5,
+            "batch_size": 32,
+            "stages": {"model": 1.0},
+        }
+        path.write_text(json.dumps(v1) + "\n")
+        (loaded,) = read_ledger(path)
+        assert loaded["schema_version"] == SCHEMA_VERSION
+        assert loaded["perf"]["seconds"] == 5.5
+        assert loaded["perf"]["batch_size"] == 32
+        assert loaded["perf"]["stages"] == {"model": 1.0}
+        assert "seconds" not in loaded  # no longer flat at the top level
+
+    def test_upgrade_is_idempotent_on_current_schema(self):
+        record = _baseline_record()
+        assert upgrade_record(record) is record
+
+    def test_corrupt_and_truncated_lines_skipped_with_warning(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "ledger.jsonl"
+        good = json.dumps(_baseline_record())
+        lines = [
+            good,
+            "{not json at all",
+            good[: len(good) // 2],  # truncated write
+            json.dumps({"schema_version": 2}),  # missing required fields
+            json.dumps(_regressed_record()),
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        loaded = read_ledger(path)
+        assert len(loaded) == 2
+        err = capsys.readouterr().out
+        assert "skipping corrupt line" in err
+        assert "skipping malformed record" in err
+
+    def test_new_record_fingerprints_environment(self):
+        record = new_record("fig9", "bench", seconds=1.0, memory={})
+        env = record["env"]
+        assert env["cpu_count"] is not None  # honest-numbers convention
+        assert "git_sha" in env and "python" in env
+        assert record["created_at"].endswith("Z")
+
+    def test_group_records_preserves_order(self):
+        a, b = _baseline_record(), _regressed_record()
+        groups = group_records([a, b])
+        assert groups[("fig9", "bench")] == [a, b]
+
+
+class TestFingerprint:
+    def test_git_sha_in_repo(self):
+        sha = git_sha(REPO_ROOT)
+        assert sha == "unknown" or len(sha) == 40
+
+    def test_env_fingerprint_keys(self):
+        env = env_fingerprint()
+        assert {"git_sha", "python", "platform", "cpu_count"} <= set(env)
+
+
+# ------------------------------------------------------------------ migrate
+
+
+class TestMigrate:
+    @pytest.fixture()
+    def bench_dir(self, tmp_path):
+        out = tmp_path / "results"
+        out.mkdir()
+        for name in ("BENCH_PR1.json", "BENCH_PR2.json", "BENCH_PR3.json"):
+            shutil.copy(RESULTS_DIR / name, out / name)
+        return out
+
+    def test_migrates_all_historical_entries(self, bench_dir, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        appended = migrate_bench_files(bench_dir, ledger)
+        assert appended == 5  # fig5+fig9 in PR1 and PR2, parallel_engine PR3
+        records = read_ledger(ledger)
+        sources = {r["source"] for r in records}
+        assert sources == {
+            "BENCH_PR1.json", "BENCH_PR2.json", "BENCH_PR3.json"
+        }
+        # The PR2 stage breakdowns survive, nested under perf.
+        fig9 = [r for r in records if r["experiment"] == "fig9"]
+        assert any("stages" in r["perf"] for r in fig9)
+        # BENCH_PR3 recorded its cpu_count; migration keeps it honest.
+        pr3 = next(r for r in records if r["source"] == "BENCH_PR3.json")
+        assert pr3["env"]["cpu_count"] == 1
+        # The originals are untouched.
+        assert json.loads((bench_dir / "BENCH_PR1.json").read_text())
+
+    def test_migration_is_idempotent(self, bench_dir, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        assert migrate_bench_files(bench_dir, ledger) == 5
+        assert migrate_bench_files(bench_dir, ledger) == 0
+        assert len(read_ledger(ledger)) == 5
+
+
+# ------------------------------------------------------------ compare / gate
+
+
+class TestCompareAndGate:
+    def test_seeded_regression_trips_gate(self):
+        regressed, comparisons = gate([_baseline_record(), _regressed_record()])
+        assert regressed
+        (comparison,) = comparisons
+        metrics = {f.metric for f in comparison.regressions}
+        assert "seconds" in metrics  # the 2x wall-clock jump
+        assert any(m.startswith("stage.") for m in metrics)
+        assert "recall" in metrics  # the 5-point drop
+        assert "f1" not in metrics  # unchanged metric stays clean
+
+    def test_improvement_and_noise_pass(self):
+        baseline = _baseline_record()
+        better = _baseline_record(
+            perf={"seconds": 6.0, "batch_size": 32,
+                  "stages": {"candidates": 1.9, "model": 3.1, "routing": 1.0}},
+        )
+        regressed, comparisons = gate([baseline, better])
+        assert not regressed
+        assert comparisons[0].regressions == []
+
+    def test_cpu_count_change_downgrades_perf_to_warning(self):
+        baseline = _baseline_record()
+        candidate = _regressed_record()
+        candidate["env"] = {"git_sha": "cand000", "cpu_count": 8}
+        candidate["quality"] = {"recall": 0.80, "f1": 0.78}  # quality held
+        comparison = compare_records(baseline, candidate)
+        assert comparison.env_changed
+        assert comparison.regressions == []  # perf downgraded, not gated
+        warned = {f.metric for f in comparison.warnings}
+        assert "cpu_count" in warned and "seconds" in warned
+        note = next(f for f in comparison.findings if f.metric == "cpu_count")
+        assert "single-core" in note.note
+
+    def test_quality_regression_still_gates_across_environments(self):
+        baseline = _baseline_record()
+        candidate = _regressed_record()
+        candidate["env"] = {"git_sha": "cand000", "cpu_count": 8}
+        comparison = compare_records(baseline, candidate)
+        assert {f.metric for f in comparison.regressions} == {"recall"}
+
+    def test_real_migrated_ledger_gates_clean(self, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        migrate_bench_files(RESULTS_DIR, ledger)
+        records = read_ledger(ledger)
+        assert len(records) >= 5
+        regressed, comparisons = gate(records)
+        assert not regressed, render_comparisons(comparisons)
+
+    def test_checked_in_ledger_gates_clean(self):
+        ledger = RESULTS_DIR / "ledger.jsonl"
+        assert ledger.exists(), "benchmarks/results/ledger.jsonl not committed"
+        records = read_ledger(ledger)
+        assert len(records) >= 3
+        regressed, comparisons = gate(records)
+        assert not regressed, render_comparisons(comparisons)
+
+    def test_compare_ledgers_pairs_latest_per_series(self):
+        base = [_baseline_record()]
+        cand = [_regressed_record()]
+        (comparison,) = compare_ledgers(base, cand)
+        assert comparison.experiment == "fig9"
+        assert comparison.regressions
+
+
+# ------------------------------------------------------------------- report
+
+
+class TestReport:
+    def test_sparkline_shape(self):
+        assert sparkline([]) == ""
+        assert sparkline([1.0, 1.0]) == "▄▄"
+        line = sparkline([1.0, 2.0, 3.0])
+        assert len(line) == 3
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_report_renders_historical_trends(self, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        migrate_bench_files(RESULTS_DIR, ledger)
+        records = read_ledger(ledger)
+        assert len(records) >= 3  # >=3 historical BENCH records
+        report = render_report(records)
+        assert "# Run ledger report" in report
+        assert "fig5 @ bench" in report and "fig9 @ bench" in report
+        assert "wall clock trend" in report
+        assert "BENCH_PR1.json" in report and "BENCH_PR2.json" in report
+
+    def test_html_report_escapes_and_wraps(self):
+        html = render_report([_baseline_record()], fmt="html")
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<pre" in html and "fig9 @ bench" in html
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError):
+            render_report([], fmt="pdf")
+
+    def test_quality_trend_rendered(self):
+        report = render_report([_baseline_record(), _regressed_record()])
+        assert "quality trend (recall)" in report
+
+
+# ---------------------------------------------------------------------- CLI
+
+
+class TestCli:
+    def _seeded_ledger(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        append_record(_baseline_record(), path=path)
+        append_record(_regressed_record(), path=path)
+        return path
+
+    def test_gate_exits_nonzero_on_seeded_regression(self, tmp_path, capsys):
+        ledger = self._seeded_ledger(tmp_path)
+        code = obs_main(["gate", "--ledger", str(ledger)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REGRESSION" in out
+
+    def test_gate_report_only_exits_zero(self, tmp_path, capsys):
+        ledger = self._seeded_ledger(tmp_path)
+        code = obs_main(["gate", "--ledger", str(ledger), "--report-only"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "REGRESSION" in out and "--report-only" in out
+
+    def test_gate_clean_on_migrated_history(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger.jsonl"
+        migrate_bench_files(RESULTS_DIR, ledger)
+        code = obs_main(["gate", "--ledger", str(ledger)])
+        assert code == 0
+        assert "gate: clean" in capsys.readouterr().out
+
+    def test_report_to_stdout_and_file(self, tmp_path, capsys):
+        ledger = self._seeded_ledger(tmp_path)
+        assert obs_main(["report", "--ledger", str(ledger)]) == 0
+        assert "# Run ledger report" in capsys.readouterr().out
+        out_file = tmp_path / "report.html"
+        code = obs_main([
+            "report", "--ledger", str(ledger),
+            "--format", "html", "--output", str(out_file),
+        ])
+        assert code == 0
+        assert out_file.read_text().startswith("<!DOCTYPE html>")
+
+    def test_compare_command(self, tmp_path, capsys):
+        base = tmp_path / "base.jsonl"
+        cand = tmp_path / "cand.jsonl"
+        append_record(_baseline_record(), path=base)
+        append_record(_regressed_record(), path=cand)
+        code = obs_main(["compare", str(base), str(cand)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fig9/bench: REGRESSION" in out
+
+    def test_compare_missing_ledger_is_usage_error(self, tmp_path, capsys):
+        code = obs_main([
+            "compare", str(tmp_path / "nope.jsonl"), str(tmp_path / "n2.jsonl")
+        ])
+        assert code == 2
+
+    def test_migrate_command(self, tmp_path, capsys):
+        out_dir = tmp_path / "results"
+        out_dir.mkdir()
+        shutil.copy(RESULTS_DIR / "BENCH_PR1.json", out_dir / "BENCH_PR1.json")
+        ledger = tmp_path / "ledger.jsonl"
+        code = obs_main([
+            "migrate", "--results-dir", str(out_dir), "--ledger", str(ledger)
+        ])
+        assert code == 0
+        assert "migrated 2 record(s)" in capsys.readouterr().out
+
+    def test_stdout_exporter_honours_injected_stream(self):
+        import io
+
+        buffer = io.StringIO()
+        exporter = StdoutExporter(buffer)
+        exporter.write("a")
+        exporter.line("b")
+        exporter.flush()
+        assert buffer.getvalue() == "ab\n"
+
+
+# --------------------------------------------- memory + quality observability
+
+
+class TestObservabilityGauges:
+    def test_memory_and_quality_in_json_and_prometheus(
+        self, clean_telemetry, monkeypatch
+    ):
+        monkeypatch.setattr(telemetry.caches, "_caches", {})
+        from repro.eval.metrics import matching_metrics
+        from repro.network.cache import LRUCache
+
+        telemetry.enable()
+        cache = LRUCache(capacity=8)
+        cache.put(("a", "b"), [1, 2, 3])
+        cache.get(("a", "b"))
+        telemetry.register_cache("test.route_cache", cache)
+        telemetry.memory.track_shm(4096)
+        telemetry.sample_memory_gauges(deep=True)
+        matching_metrics([1, 2, 3], [1, 2, 4])
+
+        snapshot = telemetry.json_snapshot()
+        gauges = snapshot["gauges"]
+        assert gauges["mem.peak_rss_bytes"] > 0
+        assert gauges["shm.bytes_mapped"] == 4096.0
+        assert gauges["cache.test.route_cache.entries"] == 1.0
+        assert gauges["cache.test.route_cache.bytes"] > 0
+        assert "quality.matching.segment_recall" in snapshot["histograms"]
+        assert snapshot["caches"]["test.route_cache"]["hit_rate"] == 1.0
+
+        text = telemetry.prometheus_text()
+        assert "repro_mem_peak_rss_bytes" in text
+        assert "repro_shm_bytes_mapped 4096.0" in text
+        assert "repro_quality_matching_segment_recall_bucket" in text
+        telemetry.memory.track_shm(-4096)
+
+    def test_ledger_memory_snapshot(self, clean_telemetry, monkeypatch):
+        monkeypatch.setattr(telemetry.caches, "_caches", {})
+        from repro.network.cache import LRUCache
+        from repro.obs.ledger import memory_snapshot
+
+        cache = LRUCache(capacity=4)
+        cache.put("k", [1.0, 2.0])
+        telemetry.register_cache("snap.cache", cache)
+        snap = memory_snapshot(deep=True)
+        assert snap["peak_rss_bytes"] > 0
+        assert snap["caches"]["snap.cache"]["entries"] == 1
+        assert snap["caches"]["snap.cache"]["bytes"] > 0

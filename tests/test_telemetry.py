@@ -421,3 +421,128 @@ def test_disabled_overhead_negligible(telemetry_matcher, clean_telemetry):
             f"({spans_per_match:.1f} spans x {span_cost * 1e9:.0f} ns "
             f"vs {per_match * 1e3:.2f} ms per trajectory)"
         )
+
+
+class TestMemoryObservability:
+    """ISSUE 5: memory gauges, max-merge semantics, lossless exposition."""
+
+    def test_gauge_set_max_and_mode(self, clean_telemetry):
+        registry = MetricsRegistry()
+        registry.set_gauge_max("mem.peak_rss_bytes", 100.0)
+        registry.set_gauge_max("mem.peak_rss_bytes", 50.0)  # cannot lower
+        assert registry.gauges["mem.peak_rss_bytes"].value == 100.0
+        assert registry.gauges["mem.peak_rss_bytes"].mode == "max"
+
+    def test_max_gauges_max_merge_across_workers(self, clean_telemetry):
+        # The parent registry keeps the *largest* peak of any process, while
+        # plain gauges stay last-write-wins.
+        worker = MetricsRegistry()
+        worker.set_gauge_max("mem.peak_rss_bytes", 200.0)
+        worker.set_gauge("train.loss", 0.5)
+        state = worker.export_state()
+        assert state["gauge_modes"] == {"mem.peak_rss_bytes": "max"}
+
+        parent = MetricsRegistry()
+        parent.set_gauge_max("mem.peak_rss_bytes", 300.0)
+        parent.set_gauge("train.loss", 0.9)
+        parent.merge_state(state)
+        assert parent.gauges["mem.peak_rss_bytes"].value == 300.0
+        assert parent.gauges["train.loss"].value == 0.5
+
+        low_peak = MetricsRegistry()
+        low_peak.merge_state(state)
+        assert low_peak.gauges["mem.peak_rss_bytes"].value == 200.0
+
+    def test_sample_memory_gauges(self, clean_telemetry, monkeypatch):
+        from repro.telemetry import memory as telemetry_memory
+
+        monkeypatch.setattr(telemetry_caches, "_caches", {})
+        registry = MetricsRegistry()
+        telemetry_memory.sample_memory_gauges(registry)
+        assert registry.gauges["mem.peak_rss_bytes"].value > 0
+        assert registry.gauges["mem.peak_rss_bytes"].mode == "max"
+        assert "shm.bytes_mapped" in registry.gauges
+
+    def test_maybe_sample_throttles(self, clean_telemetry, monkeypatch):
+        from repro.telemetry import memory as telemetry_memory
+
+        monkeypatch.setattr(telemetry_caches, "_caches", {})
+        monkeypatch.setattr(telemetry_memory, "_last_sample", 0.0)
+        registry = MetricsRegistry()
+        telemetry_memory.maybe_sample(registry)
+        first = registry.gauges["mem.peak_rss_bytes"].value
+        assert first > 0
+        registry.gauges["mem.peak_rss_bytes"].value = 0.0
+        telemetry_memory.maybe_sample(registry)  # within the interval
+        assert registry.gauges["mem.peak_rss_bytes"].value == 0.0
+
+    def test_shared_bundle_tracks_shm_bytes(self, clean_telemetry):
+        np = pytest.importorskip("numpy")
+        from repro.network.shared import SharedArrayBundle
+        from repro.telemetry import memory as telemetry_memory
+
+        before = telemetry_memory.shm_bytes_mapped()
+        bundle = SharedArrayBundle.create(
+            {"xy": np.arange(16, dtype=np.float64)}
+        )
+        assert telemetry_memory.shm_bytes_mapped() > before
+        bundle.close()
+        bundle.close()  # double close must not go negative
+        assert telemetry_memory.shm_bytes_mapped() == before
+        bundle.unlink()
+
+    def test_root_span_exit_samples_memory(self, clean_telemetry, monkeypatch):
+        from repro.telemetry import memory as telemetry_memory
+
+        monkeypatch.setattr(telemetry_caches, "_caches", {})
+        monkeypatch.setattr(telemetry_memory, "_last_sample", 0.0)
+        telemetry.enable()
+        with telemetry.span("rootwork"):
+            pass
+        registry = telemetry.get_registry()
+        assert registry.gauges["mem.peak_rss_bytes"].value > 0
+
+
+class TestPrometheusRoundTrip:
+    """The exposition must parse back losslessly (le labels included)."""
+
+    def test_high_precision_bucket_bounds_round_trip(self, clean_telemetry):
+        # %g-style formatting truncates 0.123456789 to "0.123457", so a
+        # value observed exactly on the boundary looks mislabelled to any
+        # parser. repr-based formatting keeps the printed edge exact.
+        bounds = (0.123456789, 1.000000001)
+        registry = MetricsRegistry()
+        registry.observe("edge_seconds", 0.123456789, bounds)
+        registry.observe("edge_seconds", 0.1234567891, bounds)
+        from repro.telemetry.exporters import (
+            parse_prometheus_text,
+            prometheus_text,
+        )
+
+        text = prometheus_text(registry)
+        parsed = parse_prometheus_text(text)
+        metric = parsed["repro_edge_seconds"]
+        assert metric["type"] == "histogram"
+        samples = metric["samples"]
+        # The printed le label parses back to the exact stored bound...
+        assert f'_bucket{{le="{0.123456789!r}"}}' in samples
+        # ... and the on-boundary observation is inside that bucket while
+        # the just-above observation is not.
+        assert samples[f'_bucket{{le="{0.123456789!r}"}}'] == 1
+        assert samples[f'_bucket{{le="{1.000000001!r}"}}'] == 2
+        assert samples['_bucket{le="+Inf"}'] == 2
+        assert samples["_sum"] == pytest.approx(
+            0.123456789 + 0.1234567891, abs=0.0
+        )
+        assert samples["_count"] == 2
+
+    def test_full_registry_round_trip(self, clean_telemetry, monkeypatch):
+        monkeypatch.setattr(telemetry_caches, "_caches", {})
+        registry = _golden_registry()
+        from repro.telemetry.exporters import parse_prometheus_text
+
+        parsed = parse_prometheus_text(telemetry.prometheus_text(registry))
+        assert parsed["repro_decoded_points_total"]["samples"][""] == 7.0
+        assert parsed["repro_cache_hit_ratio"]["samples"][""] == 0.75
+        spans = parsed["repro_span_seconds"]["samples"]
+        assert spans['_total{path="inference.model"}'] == 0.25

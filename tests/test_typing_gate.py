@@ -21,7 +21,12 @@ import pytest
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: The packages RL005 / mypy --strict cover, per docs/STATIC_ANALYSIS.md.
-TYPED_TARGETS = ("src/repro/api", "src/repro/config.py", "src/repro/engine")
+TYPED_TARGETS = (
+    "src/repro/api",
+    "src/repro/config.py",
+    "src/repro/engine",
+    "src/repro/obs",
+)
 
 
 def test_pyproject_pins_mypy_to_typed_packages():
